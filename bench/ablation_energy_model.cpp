@@ -1,0 +1,91 @@
+// Ablation: how much do the conclusions depend on the radio energy
+// model?  The paper's premise is the ordering tx ≳ rx ≈ idle ≫ sleep.
+// We run ONE simulation per variant pair (sectored vs not), then re-price
+// the recorded per-state dwell times under several models — the dwell
+// times are model-independent, so this isolates the energy-model effect
+// on the Fig 7(c) lifetime ratio.
+#include <cstdio>
+#include <vector>
+
+#include "core/polling_simulation.hpp"
+#include "exp/fig_common.hpp"
+#include "util/table.hpp"
+
+using namespace mhp;
+
+namespace {
+
+/// Worst per-sensor mean power under `model`, from recorded dwell times.
+double max_power_under(const PollingSimulation& sim, std::size_t n,
+                       const EnergyModel& model) {
+  double worst = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    const EnergyMeter& m = sim.sensor(s).meter();
+    double energy = 0.0;
+    for (std::size_t k = 0; k < kNumRadioStates; ++k) {
+      const auto state = static_cast<RadioState>(k);
+      energy += model.power(state) * m.time_in(state).to_seconds();
+    }
+    const double seconds = m.total_time().to_seconds();
+    if (seconds > 0.0) worst = std::max(worst, energy / seconds);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation — energy-model sensitivity of the sectoring gain\n"
+      "(one 30-sensor run per variant; dwell times re-priced under\n"
+      " different sleep/idle ratios; ratio = lifetime with sectors /\n"
+      " without, as in Fig 7(c))\n\n");
+
+  const Deployment dep = mhp::exp::eval_deployment(30, 55);
+  constexpr double kRate = 20.0;
+  constexpr std::size_t kN = 30;
+
+  PollingSimulation plain(dep, mhp::exp::eval_protocol_config(55, false),
+                          kRate);
+  plain.run(Time::sec(40), Time::sec(10));
+  PollingSimulation sectored(dep, mhp::exp::eval_protocol_config(55, true),
+                             kRate);
+  sectored.run(Time::sec(40), Time::sec(10));
+
+  struct Variant {
+    const char* name;
+    EnergyModel model;
+  };
+  const double idle = 20e-3;
+  const std::vector<Variant> variants = {
+      {"paper-like (sleep 0.1% of idle)",
+       {1.4 * idle, 1.05 * idle, idle, 0.001 * idle}},
+      {"lazy radio (sleep 5% of idle)",
+       {1.4 * idle, 1.05 * idle, idle, 0.05 * idle}},
+      {"leaky radio (sleep 25% of idle)",
+       {1.4 * idle, 1.05 * idle, idle, 0.25 * idle}},
+      {"no sleep saving (sleep = idle)",
+       {1.4 * idle, 1.05 * idle, idle, idle}},
+      {"tx-dominated (tx 10x idle)",
+       {10.0 * idle, 1.05 * idle, idle, 0.001 * idle}},
+  };
+
+  Table table({"energy model", "max power plain (mW)",
+               "max power sectored (mW)", "lifetime ratio"});
+  table.set_precision(1, 3);
+  table.set_precision(2, 3);
+  table.set_precision(3, 2);
+  for (const auto& v : variants) {
+    const double p_plain = max_power_under(plain, kN, v.model);
+    const double p_sect = max_power_under(sectored, kN, v.model);
+    table.add_row({std::string(v.name), 1e3 * p_plain, 1e3 * p_sect,
+                   p_plain / p_sect});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf(
+      "Reading: the sectoring gain needs sleep to be much cheaper than\n"
+      "idle (the paper's premise); as sleep power approaches idle power\n"
+      "the ratio collapses toward 1, and a tx-dominated radio shrinks it\n"
+      "because transmission load, not listening, rules the budget.\n");
+  return 0;
+}

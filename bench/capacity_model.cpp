@@ -1,0 +1,79 @@
+// Capacity model vs simulation: Fig 7(a)'s saturation wall, predicted
+// analytically (offline scheduling of one cycle) and checked against the
+// event simulator.  §VI-A: "we should choose a suitable size for a
+// cluster" — this is the tool that chooses it.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/capacity.hpp"
+#include "core/polling_simulation.hpp"
+#include "exp/fig_common.hpp"
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Point {
+  std::size_t sensors;
+  double rate;
+};
+
+struct Result {
+  double predicted_duty = 0.0;
+  double simulated_active = 0.0;
+  double delivery = 0.0;
+};
+
+Result run_point(const Point& p) {
+  using namespace mhp;
+  using namespace mhp::exp;
+  const std::uint64_t seed = p.sensors * 7 +
+                             static_cast<std::uint64_t>(p.rate);
+  const Deployment dep = eval_deployment(p.sensors, seed);
+  ProtocolConfig cfg = eval_protocol_config(seed);
+  PollingSimulation sim(dep, cfg, p.rate);
+  const auto est = estimate_capacity(sim.topology(), sim.relay_plan(),
+                                     sim.oracle(), p.rate, cfg);
+  const auto rep = sim.run(Time::sec(40), Time::sec(10));
+  return Result{est.duty_fraction, rep.mean_active_fraction,
+                rep.delivery_ratio};
+}
+
+}  // namespace
+
+int main() {
+  using namespace mhp;
+
+  std::printf(
+      "Capacity model — predicted duty fraction vs simulated active time\n"
+      "(the Fig 7(a) saturation wall, found without running the DES)\n\n");
+
+  std::vector<Point> points;
+  for (std::size_t n : {20u, 40u, 60u, 80u})
+    for (double r : {20.0, 60.0}) points.push_back({n, r});
+
+  const auto results = mhp::exp::sweep<Point, Result>(
+      points, std::function<Result(const Point&)>(run_point));
+
+  Table table({"sensors", "rate B/s", "predicted duty %",
+               "simulated active %", "delivery %"});
+  table.set_precision(2, 1);
+  table.set_precision(3, 1);
+  table.set_precision(4, 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.add_row({static_cast<long long>(points[i].sensors),
+                   static_cast<long long>(points[i].rate),
+                   100.0 * results[i].predicted_duty,
+                   100.0 * results[i].simulated_active,
+                   100.0 * results[i].delivery});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  ProtocolConfig cfg;
+  std::printf("predicted max cluster size (duty < 99%%):\n");
+  for (double r : {20.0, 40.0, 60.0, 80.0})
+    std::printf("  %3.0f B/s per sensor -> N <= %zu\n", r,
+                max_cluster_size(r, cfg, 0.99, 150));
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks (google-benchmark): the simulator substrate — event
+// queue throughput, SINR evaluation, and full duty-cycle simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "core/polling_simulation.hpp"
+#include "exp/fig_common.hpp"
+#include "radio/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace mhp;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i)
+      q.push(Time::ns(static_cast<std::int64_t>(rng.below(1'000'000))),
+             [] {});
+    while (auto ev = q.pop()) benchmark::DoNotOptimize(ev->when);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.after(Time::us(1), tick);
+    };
+    sim.after(Time::us(1), tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_ConcurrentOutcome(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Simulator sim;
+  TwoRayGround prop;
+  Rng rng(2);
+  const Deployment dep = mhp::exp::eval_deployment(n, 9);
+  std::vector<double> powers(n + 1, RadioParams::kSensorTxPowerW);
+  powers[n] = RadioParams::kHeadTxPowerW;
+  Channel channel(sim, prop, RadioParams{}, dep.positions, powers);
+  std::vector<Channel::TxRx> txs;
+  for (NodeId s = 0; s + 3 < n; s += 4) txs.push_back({s, s + 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.concurrent_outcome(txs));
+  }
+  state.counters["group"] = static_cast<double>(txs.size());
+}
+BENCHMARK(BM_ConcurrentOutcome)->Arg(20)->Arg(60)->Arg(100);
+
+void BM_FullDutyCycleSimulation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const Deployment dep = mhp::exp::eval_deployment(n, 11);
+    PollingSimulation sim(dep, mhp::exp::eval_protocol_config(11), 40.0);
+    const auto rep = sim.run(Time::sec(12), Time::sec(2));
+    benchmark::DoNotOptimize(rep.packets_delivered);
+  }
+  state.counters["sim_s_per_s"] = benchmark::Counter(
+      10.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullDutyCycleSimulation)->Arg(10)->Arg(30)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Environment monitoring: the paper's motivating application (§I).
+//
+// A ground-temperature cluster samples slowly (one 80-byte reading per
+// sensor per minute-ish), wakes once per second, and must last for months
+// on coin cells.  This example compares the plain duty-cycle protocol
+// with the sectored variant (§IV) and prints a deployment-planning
+// summary: energy budget, projected lifetime, and data latency.
+#include <cstdio>
+
+#include "core/polling_simulation.hpp"
+#include "metrics/lifetime.hpp"
+#include "net/deployment.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mhp;
+
+  // 40 sensors over a 200 m field; readings at 10 B/s (one 80-byte packet
+  // every 8 seconds — a fast environmental-monitoring rate).
+  Rng rng(2026);
+  const Deployment dep = deploy_connected_uniform_square(40, 200.0, 60.0, rng);
+  constexpr double kRate = 10.0;
+  const BatteryModel battery{2400.0};  // one CR2477 coin cell, ~2.4 kJ
+
+  struct Variant {
+    const char* name;
+    bool sectors;
+  };
+  Table table({"variant", "sectors", "delivery %", "active %",
+               "max power (mW)", "lifetime (days)", "latency (ms)"});
+  table.set_precision(2, 1);
+  table.set_precision(3, 2);
+  table.set_precision(4, 3);
+  table.set_precision(5, 1);
+  table.set_precision(6, 0);
+
+  for (const Variant v : {Variant{"whole-cluster", false},
+                          Variant{"sectored", true}}) {
+    ProtocolConfig cfg;
+    cfg.cycle_period = Time::ms(1000);
+    cfg.use_sectors = v.sectors;
+    cfg.seed = 7;
+    PollingSimulation sim(dep, cfg, kRate);
+    const auto rep = sim.run(Time::sec(70), Time::sec(10));
+
+    const double lifetime_days =
+        rep.lifetime_s(battery.capacity_j) / 86400.0;
+    table.add_row({std::string(v.name),
+                   static_cast<long long>(rep.sectors),
+                   100.0 * rep.delivery_ratio,
+                   100.0 * rep.mean_active_fraction,
+                   1e3 * rep.max_sensor_power_w, lifetime_days,
+                   1e3 * rep.mean_latency_s});
+    if (v.sectors && sim.sector_partition()) {
+      std::printf("sector layout:");
+      for (const auto& sec : sim.sector_partition()->sectors)
+        std::printf(" %zu", sec.sensors.size());
+      std::printf(" sensors\n");
+    }
+  }
+
+  std::printf("\nEnvironment monitoring planning summary (40 sensors, "
+              "%.0f B/s each):\n\n%s\n",
+              kRate, table.to_ascii().c_str());
+  std::printf(
+      "Reading: sectoring (§IV) trades nothing on delivery but cuts the\n"
+      "worst sensor's awake share, stretching the first battery death —\n"
+      "the paper's Fig 7(c) effect, here in engineering units.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Deployment planning: pick the duty-cycle period that meets a target
+// lifetime.  Longer cycles cut idle listening (fewer wakeups per hour)
+// but stretch data latency — this sweeps the trade-off for a concrete
+// cluster and prints the feasible configurations.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/polling_simulation.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/lifetime.hpp"
+#include "net/deployment.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Point {
+  mhp::Time cycle_period;
+};
+
+struct Result {
+  double delivery = 0.0;
+  double active_pct = 0.0;
+  double lifetime_days = 0.0;
+  double latency_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mhp;
+
+  constexpr double kRate = 8.0;           // one packet every 10 s
+  constexpr double kTargetDays = 20.0;    // mission requirement
+  const BatteryModel battery{2400.0};     // CR2477 coin cell
+
+  Rng rng(99);
+  const Deployment dep = deploy_connected_uniform_square(25, 200.0, 60.0, rng);
+
+  std::vector<Point> points;
+  for (std::int64_t ms : {250, 500, 1000, 2000, 4000, 8000})
+    points.push_back({Time::ms(ms)});
+
+  auto run_point = [&](const Point& p) {
+    ProtocolConfig cfg;
+    cfg.cycle_period = p.cycle_period;
+    cfg.use_sectors = true;
+    cfg.seed = 5;
+    PollingSimulation sim(dep, cfg, kRate);
+    const auto rep = sim.run(Time::sec(90), Time::sec(10));
+    Result r;
+    r.delivery = 100.0 * rep.delivery_ratio;
+    r.active_pct = 100.0 * rep.mean_active_fraction;
+    r.lifetime_days = rep.lifetime_s(battery.capacity_j) / 86400.0;
+    r.latency_ms = 1e3 * rep.mean_latency_s;
+    return r;
+  };
+  const auto results = mhp::exp::sweep<Point, Result>(
+      points, std::function<Result(const Point&)>(run_point));
+
+  std::printf(
+      "Lifetime planner: 25 sensors, %.0f B/s each, sectored polling,\n"
+      "target lifetime %.0f days on a %.0f J cell\n\n",
+      kRate, kTargetDays, battery.capacity_j);
+
+  Table table({"cycle (ms)", "delivery %", "active %", "lifetime (days)",
+               "latency (ms)", "meets target"});
+  table.set_precision(1, 1);
+  table.set_precision(2, 2);
+  table.set_precision(3, 1);
+  table.set_precision(4, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const bool ok = results[i].lifetime_days >= kTargetDays &&
+                    results[i].delivery >= 99.0;
+    table.add_row({static_cast<long long>(
+                       points[i].cycle_period.nanos() / 1'000'000),
+                   results[i].delivery, results[i].active_pct,
+                   results[i].lifetime_days, results[i].latency_ms,
+                   std::string(ok ? "yes" : "no")});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf(
+      "Reading: the longest cycle that still delivers everything wins —\n"
+      "idle listening between wakeups is the dominant energy term, just\n"
+      "as the paper's motivation argues.\n");
+  return 0;
+}

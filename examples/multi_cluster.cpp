@@ -1,0 +1,86 @@
+// Multi-cluster coordination (§V-G): a field of cluster heads whose
+// clusters would interfere at the boundaries.  Shows both remedies the
+// paper proposes — radio-channel assignment by colouring the (planar)
+// cluster adjacency graph, and token rotation — then runs each cluster's
+// polling protocol independently on its assigned channel.
+#include <cstdio>
+#include <vector>
+
+#include "core/coloring.hpp"
+#include "core/polling_simulation.hpp"
+#include "net/deployment.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mhp;
+
+  // 3×3 grid of cluster heads, 250 m apart; each head manages a 200 m
+  // square of 15 sensors.  Clusters whose heads are within 400 m could
+  // interfere (sensor transmissions near shared boundaries).
+  constexpr int kGrid = 3;
+  constexpr double kPitch = 250.0;
+  constexpr double kInterfereRange = 400.0;
+
+  std::vector<Vec2> head_pos;
+  for (int y = 0; y < kGrid; ++y)
+    for (int x = 0; x < kGrid; ++x)
+      head_pos.push_back({x * kPitch, y * kPitch});
+
+  Graph adjacency(head_pos.size());
+  for (NodeId a = 0; a < head_pos.size(); ++a)
+    for (NodeId b = a + 1; b < head_pos.size(); ++b)
+      if (distance(head_pos[a], head_pos[b]) <= kInterfereRange)
+        adjacency.add_edge(a, b);
+
+  // Remedy 1: channel assignment = graph colouring (≤6 channels on the
+  // planar cluster graph; usually 4 suffice).
+  const auto colors = six_color_planar(adjacency);
+  std::printf("cluster adjacency: %zu clusters, %zu conflict edges\n",
+              adjacency.size(), adjacency.edge_count());
+  std::printf("channel assignment uses %d channels (proper: %s)\n\n",
+              num_colors(colors),
+              proper_coloring(adjacency, colors) ? "yes" : "NO");
+
+  Table table({"cluster", "position", "channel", "delivery %",
+               "active %"});
+  table.set_precision(3, 1);
+  table.set_precision(4, 1);
+
+  // Each cluster runs its own polling simulation on its own channel
+  // (channel separation removes inter-cluster interference, so the runs
+  // are independent by construction).
+  for (std::size_t c = 0; c < head_pos.size(); ++c) {
+    Rng rng(100 + c);
+    const Deployment dep =
+        deploy_connected_uniform_square(15, 200.0, 60.0, rng);
+    ProtocolConfig cfg;
+    cfg.seed = 100 + c;
+    PollingSimulation sim(dep, cfg, 20.0);
+    const auto rep = sim.run(Time::sec(30), Time::sec(5));
+    char pos[32];
+    std::snprintf(pos, sizeof(pos), "(%.0f, %.0f)", head_pos[c].x,
+                  head_pos[c].y);
+    table.add_row({static_cast<long long>(c), std::string(pos),
+                   static_cast<long long>(colors[c]),
+                   100.0 * rep.delivery_ratio,
+                   100.0 * rep.mean_active_fraction});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  // Remedy 2: a single channel with token rotation — only the token
+  // holder's cluster polls in any round, so duty cycles stretch by the
+  // cluster count.
+  TokenRotation token(head_pos.size());
+  std::printf("token rotation on one shared channel (first 12 rounds):\n");
+  for (std::uint64_t round = 0; round < 12; ++round)
+    std::printf("  round %2llu -> cluster %zu polls\n",
+                static_cast<unsigned long long>(round),
+                token.holder(round));
+  std::printf(
+      "\nReading: colouring needs %d radio channels and lets every\n"
+      "cluster poll concurrently; the token needs one channel but\n"
+      "multiplies each sensor's wake-to-wake cycle by %zu.\n",
+      num_colors(colors), head_pos.size());
+  return 0;
+}

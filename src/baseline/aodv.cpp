@@ -1,0 +1,98 @@
+#include "baseline/aodv.hpp"
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+std::optional<NodeId> Aodv::next_hop(NodeId dest, Time now) const {
+  auto it = table_.find(dest);
+  if (it == table_.end() || it->second.expires < now) return std::nullopt;
+  return it->second.next_hop;
+}
+
+RreqMsg Aodv::make_rreq(NodeId dest) {
+  RreqMsg r;
+  r.id = next_rreq_id_++;
+  r.origin = self_;
+  r.dest = dest;
+  r.origin_seq = ++seq_;
+  r.hops = 0;
+  return r;
+}
+
+void Aodv::install(NodeId dest, NodeId via, std::uint32_t hops,
+                   std::uint32_t seq, Time now, Time lifetime) {
+  auto it = table_.find(dest);
+  if (it != table_.end() && it->second.expires >= now) {
+    // Keep a fresher (higher seq) or shorter route.
+    if (it->second.seq > seq) return;
+    if (it->second.seq == seq && it->second.hops <= hops) {
+      it->second.expires = now + lifetime;
+      return;
+    }
+  }
+  table_[dest] = Route{via, hops, seq, now + lifetime};
+}
+
+Aodv::RreqAction Aodv::on_rreq(const RreqMsg& rreq, NodeId from, Time now,
+                               Time lifetime) {
+  RreqAction action;
+  if (rreq.origin == self_) return action;  // our own flood echoed back
+  if (!seen_rreqs_.insert({rreq.origin, rreq.id}).second) return action;
+
+  // Reverse route to the origin through the sender.
+  install(rreq.origin, from, rreq.hops + 1, rreq.origin_seq, now, lifetime);
+
+  if (rreq.dest == self_) {
+    action.reply = true;
+    action.rep.origin = rreq.origin;
+    action.rep.dest = self_;
+    action.rep.dest_seq = ++seq_;
+    action.rep.hops = 0;
+    return action;
+  }
+  // Intermediate-node reply: a fresh route to the destination lets us
+  // answer on its behalf (standard AODV; keeps regional RREQ storms from
+  // starving origins of replies).
+  if (auto it = table_.find(rreq.dest);
+      it != table_.end() && it->second.expires >= now) {
+    action.reply = true;
+    action.rep.origin = rreq.origin;
+    action.rep.dest = rreq.dest;
+    action.rep.dest_seq = it->second.seq;
+    action.rep.hops = it->second.hops;
+    return action;
+  }
+  action.forward = true;
+  action.fwd = rreq;
+  action.fwd.hops += 1;
+  return action;
+}
+
+std::optional<NodeId> Aodv::on_rrep(const RrepMsg& rrep, NodeId from,
+                                    Time now, Time lifetime) {
+  // Forward route to the destination through the sender.
+  install(rrep.dest, from, rrep.hops + 1, rrep.dest_seq, now, lifetime);
+  if (rrep.origin == self_) return std::nullopt;  // discovery complete
+  return next_hop(rrep.origin, now);              // reverse path onward
+}
+
+std::vector<NodeId> Aodv::on_link_failure(NodeId neighbor) {
+  std::vector<NodeId> lost;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.next_hop == neighbor) {
+      lost.push_back(it->first);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return lost;
+}
+
+void Aodv::touch(NodeId dest, Time now, Time lifetime) {
+  auto it = table_.find(dest);
+  if (it != table_.end()) it->second.expires = now + lifetime;
+}
+
+}  // namespace mhp

@@ -1,0 +1,96 @@
+// AODV routing agent (per node), as used on top of S-MAC for the paper's
+// Fig 7(b) comparison.
+//
+// Implements on-demand route discovery: RREQ flooding with duplicate
+// suppression and reverse-route installation, RREP unicast back along the
+// reverse path, route lifetimes, and invalidation on link failure.  The
+// MAC layer owns transmission; this class only decides *what* to send and
+// learns from what arrives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mhp {
+
+struct RreqMsg {
+  std::uint32_t id = 0;       // (origin, id) identifies the flood
+  NodeId origin = kNoNode;
+  NodeId dest = kNoNode;
+  std::uint32_t origin_seq = 0;
+  std::uint32_t hops = 0;
+};
+
+struct RrepMsg {
+  NodeId origin = kNoNode;  // who asked
+  NodeId dest = kNoNode;    // route target
+  std::uint32_t dest_seq = 0;
+  std::uint32_t hops = 0;
+};
+
+/// What rides on FrameKind::kRouting frames.
+using RoutingPayload = std::variant<RreqMsg, RrepMsg>;
+
+class Aodv {
+ public:
+  Aodv(NodeId self, std::uint32_t self_seq = 0) : self_(self), seq_(self_seq) {}
+
+  struct Route {
+    NodeId next_hop = kNoNode;
+    std::uint32_t hops = 0;
+    std::uint32_t seq = 0;
+    Time expires;
+  };
+
+  /// Valid next hop toward `dest` at time `now`, if a fresh route exists.
+  std::optional<NodeId> next_hop(NodeId dest, Time now) const;
+
+  /// Build a new route request for `dest` (bumps the local sequence
+  /// number and flood id).
+  RreqMsg make_rreq(NodeId dest);
+
+  /// Process an overheard RREQ arriving from neighbor `from`.
+  struct RreqAction {
+    bool forward = false;   // rebroadcast (hops incremented)
+    bool reply = false;     // we are the destination: send RREP to `from`
+    RreqMsg fwd;            // forward payload when forward
+    RrepMsg rep;            // reply payload when reply
+  };
+  RreqAction on_rreq(const RreqMsg& rreq, NodeId from, Time now,
+                     Time lifetime);
+
+  /// Process an RREP arriving from neighbor `from`.  Returns the next hop
+  /// to forward it to (reverse route toward the origin), or nullopt if we
+  /// are the origin / the reverse route is gone.
+  std::optional<NodeId> on_rrep(const RrepMsg& rrep, NodeId from, Time now,
+                                Time lifetime);
+
+  /// The MAC exhausted retries toward `neighbor`: invalidate every route
+  /// through it.  Returns the destinations lost (for RERR propagation).
+  std::vector<NodeId> on_link_failure(NodeId neighbor);
+
+  /// Refresh a route's lifetime on use.
+  void touch(NodeId dest, Time now, Time lifetime);
+
+  std::uint32_t sequence() const { return seq_; }
+  const std::map<NodeId, Route>& table() const { return table_; }
+
+ private:
+  void install(NodeId dest, NodeId via, std::uint32_t hops,
+               std::uint32_t seq, Time now, Time lifetime);
+
+  NodeId self_;
+  std::uint32_t seq_;
+  std::uint32_t next_rreq_id_ = 1;
+  std::map<NodeId, Route> table_;
+  std::set<std::pair<NodeId, std::uint32_t>> seen_rreqs_;
+};
+
+}  // namespace mhp

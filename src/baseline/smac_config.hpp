@@ -1,0 +1,61 @@
+// Configuration of the S-MAC + AODV baseline (the comparison system of
+// Fig 7(b); S-MAC follows Ye, Heidemann & Estrin, INFOCOM 2002).
+#pragma once
+
+#include <cstdint>
+
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "sim/time.hpp"
+
+namespace mhp {
+
+struct SmacConfig {
+  /// S-MAC frame: a listen period followed by a sleep period.
+  Time frame_period = Time::ms(1000);
+  /// Fraction of the frame spent listening (1.0 = no sleep cycle).
+  double duty_cycle = 0.5;
+  /// Number of distinct schedule phases ("virtual clusters", Ye et al.
+  /// §IV-A): nodes are randomly assigned a phase, so a duty-cycled
+  /// neighbor may be asleep while the sender is awake — the mechanism
+  /// that breaks AODV paths in the paper's comparison.  1 = perfectly
+  /// synchronized schedules.
+  std::uint32_t schedule_groups = 4;
+
+  /// SYNC maintenance: every `sync_every_frames` frames a node broadcasts
+  /// its schedule (Ye et al. periodic SYNC).  0 disables.
+  std::uint32_t sync_every_frames = 10;
+  std::uint32_t sync_bytes = 9;
+
+  /// Contention parameters.
+  Time difs = Time::us(400);       // initial idle sensing window
+  Time sifs = Time::us(100);       // gap between handshake frames
+  Time backoff_slot = Time::us(200);
+  std::uint32_t contention_window = 64;  // backoff in [0, cw) slots
+  std::uint32_t cw_max = 1024;           // cap for exponential backoff
+  std::uint32_t retry_limit = 5;         // RTS attempts per packet
+
+  /// Frame sizes (bytes).
+  std::uint32_t rts_bytes = 10;
+  std::uint32_t cts_bytes = 10;
+  std::uint32_t ack_bytes = 10;
+  std::uint32_t data_bytes = 80;
+
+  /// AODV parameters.
+  Time route_lifetime = Time::sec(60);
+  Time rreq_retry_interval = Time::ms(500);
+  std::uint32_t rreq_retries = 3;
+  std::uint32_t rreq_bytes = 24;
+  std::uint32_t rrep_bytes = 20;
+  /// RREQ rebroadcast jitter (de-synchronises the flood).
+  Time rreq_jitter = Time::ms(20);
+
+  std::size_t queue_capacity = 64;
+
+  std::uint64_t seed = 1;
+
+  RadioParams radio{};
+  EnergyModel energy = EnergyModel::typical_sensor();
+};
+
+}  // namespace mhp

@@ -1,0 +1,102 @@
+#include "core/capacity.hpp"
+
+#include <cmath>
+
+#include "core/ack_collection.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/deployment.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+
+CapacityEstimate estimate_capacity(const ClusterTopology& topo,
+                                   const RelayPlan& plan,
+                                   const CompatibilityOracle& oracle,
+                                   double rate_bps,
+                                   const ProtocolConfig& cfg) {
+  const std::size_t n = topo.num_sensors();
+  CapacityEstimate est;
+
+  // Ack phase: schedule the set-cover paths.
+  const AckPlan ack = plan_ack_collection(topo, plan, 0);
+  MHP_REQUIRE(ack.covers_all, "ack cover incomplete");
+  est.ack_slots = run_offline(oracle, ack.poll_paths).slots;
+
+  // Data phase: the per-cycle packet workload, each packet one request
+  // along its sensor's path.
+  const double per_cycle = rate_bps * cfg.cycle_period.to_seconds() /
+                           static_cast<double>(cfg.data_bytes);
+  // Fractional packets alternate cycle by cycle; the steady-state mean
+  // uses the expected integer count (ceil on the heavy cycles): schedule
+  // with round-to-nearest and correct the duty linearly below.
+  std::vector<std::vector<NodeId>> requests;
+  for (NodeId s = 0; s < n; ++s) {
+    const auto count = static_cast<std::size_t>(std::llround(
+        std::max(1.0, per_cycle)));
+    for (std::size_t k = 0; k < count; ++k)
+      requests.push_back(plan.path_for_cycle(s, 0).hops);
+  }
+  est.data_slots = run_offline(oracle, requests).slots;
+
+  const double slot_s = cfg.slot_duration().to_seconds();
+  const double ctrl_s =
+      static_cast<double>(cfg.control_bytes) * 8.0 / cfg.radio.bandwidth_bps;
+  // Wake-up broadcast + guard, slots, sleep broadcast.
+  est.duty_seconds = ctrl_s + cfg.turnaround.to_seconds() +
+                     cfg.slot_guard.to_seconds() +
+                     slot_s * static_cast<double>(est.ack_slots +
+                                                  est.data_slots) +
+                     ctrl_s;
+  // If the per-cycle packet count was rounded up from a fraction < 1,
+  // scale the data term back to its steady-state average.
+  if (per_cycle < 1.0 && per_cycle > 0.0) {
+    const double data_s = slot_s * static_cast<double>(est.data_slots);
+    est.duty_seconds -= data_s * (1.0 - per_cycle);
+  }
+  est.duty_fraction = est.duty_seconds / cfg.cycle_period.to_seconds();
+  est.saturated = est.duty_fraction >= 1.0;
+  return est;
+}
+
+std::size_t max_cluster_size(double rate_bps, const ProtocolConfig& cfg,
+                             double max_duty, std::size_t limit,
+                             std::uint64_t seed) {
+  std::size_t best = 0;
+  for (std::size_t n = 10; n <= limit; n += 10) {
+    Rng rng(seed + n);
+    Deployment dep;
+    try {
+      dep = deploy_connected_uniform_square(n, 200.0, 60.0, rng);
+    } catch (const ContractViolation&) {
+      break;
+    }
+    const ClusterTopology topo = disc_topology(dep, 60.0);
+    const double per_cycle = rate_bps * cfg.cycle_period.to_seconds() /
+                             static_cast<double>(cfg.data_bytes);
+    std::vector<std::int64_t> demand(
+        n, std::max<std::int64_t>(
+               1, static_cast<std::int64_t>(std::llround(
+                      std::ceil(per_cycle)))));
+    const RelayPlan plan = RelayPlan::balanced(topo, demand);
+
+    // Pairwise-permissive oracle over the plan's own transmissions — the
+    // measured oracle's typical shape at M = cfg.oracle_order.
+    ExplicitOracle oracle(cfg.oracle_order);
+    std::vector<std::vector<NodeId>> paths;
+    for (NodeId s = 0; s < n; ++s) paths.push_back(plan.path_for_cycle(s, 0).hops);
+    const auto txs = transmissions_of_paths(paths);
+    for (std::size_t i = 0; i < txs.size(); ++i)
+      for (std::size_t j = i + 1; j < txs.size(); ++j)
+        oracle.allow_pair(txs[i], txs[j]);
+
+    const auto est = estimate_capacity(topo, plan, oracle, rate_bps, cfg);
+    if (est.duty_fraction <= max_duty)
+      best = n;
+    else
+      break;
+  }
+  return best;
+}
+
+}  // namespace mhp

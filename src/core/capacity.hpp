@@ -1,0 +1,46 @@
+// Cluster capacity model (§VI-A).
+//
+// Fig 7(a) shows that for a given data rate there is a maximum cluster
+// size; beyond it sensors are awake full-time and packets are lost.  The
+// paper leaves "choose a suitable size" to the operator.  This module
+// predicts the duty fraction analytically — by *scheduling* one cycle's
+// workload offline (ack cover + data requests through the greedy
+// scheduler) and pricing the slots — so deployments can be sized without
+// running the event simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/protocol_config.hpp"
+#include "core/routing.hpp"
+#include "net/cluster.hpp"
+
+namespace mhp {
+
+struct CapacityEstimate {
+  std::size_t ack_slots = 0;
+  std::size_t data_slots = 0;
+  double duty_seconds = 0.0;    // wake-up + ack + data + sleep airtime
+  double duty_fraction = 0.0;   // duty_seconds / cycle period
+  bool saturated = false;       // the cycle cannot drain in one period
+};
+
+/// Predict one steady-state duty cycle for `rate_bps` per sensor.
+/// `oracle` is the compatibility knowledge the head would schedule with.
+CapacityEstimate estimate_capacity(const ClusterTopology& topo,
+                                   const RelayPlan& plan,
+                                   const CompatibilityOracle& oracle,
+                                   double rate_bps,
+                                   const ProtocolConfig& cfg);
+
+/// Largest cluster size (sensors drawn uniformly from the standard
+/// evaluation square) whose predicted duty fraction stays below
+/// `max_duty`.  Scans n = 10, 20, … up to `limit`.
+std::size_t max_cluster_size(double rate_bps, const ProtocolConfig& cfg,
+                             double max_duty = 0.99,
+                             std::size_t limit = 150,
+                             std::uint64_t seed = 1);
+
+}  // namespace mhp

@@ -1,0 +1,88 @@
+#include "core/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+namespace {
+
+int lowest_free_color(const Graph& g, const std::vector<int>& colors,
+                      NodeId v) {
+  std::vector<bool> taken;
+  for (NodeId w : g.neighbors(v)) {
+    const int c = colors[w];
+    if (c < 0) continue;
+    if (static_cast<std::size_t>(c) >= taken.size())
+      taken.resize(static_cast<std::size_t>(c) + 1, false);
+    taken[static_cast<std::size_t>(c)] = true;
+  }
+  for (std::size_t c = 0; c < taken.size(); ++c)
+    if (!taken[c]) return static_cast<int>(c);
+  return static_cast<int>(taken.size());
+}
+
+}  // namespace
+
+std::vector<int> six_color_planar(const Graph& g) {
+  const std::size_t n = g.size();
+  // Elimination: repeatedly remove a vertex of minimum remaining degree
+  // (<= 5 in planar graphs); colour in reverse removal order — at most 5
+  // coloured neighbours exist at re-insertion, so 6 colours suffice.
+  std::vector<std::size_t> degree(n);
+  std::vector<bool> removed(n, false);
+  for (NodeId v = 0; v < n; ++v) degree[v] = g.degree(v);
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    NodeId pick = kNoNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (removed[v]) continue;
+      if (pick == kNoNode || degree[v] < degree[pick]) pick = v;
+    }
+    MHP_ENSURE(pick != kNoNode, "elimination ran out of vertices");
+    removed[pick] = true;
+    order.push_back(pick);
+    for (NodeId w : g.neighbors(pick))
+      if (!removed[w]) --degree[w];
+  }
+
+  std::vector<int> colors(n, -1);
+  for (auto it = order.rbegin(); it != order.rend(); ++it)
+    colors[*it] = lowest_free_color(g, colors, *it);
+  return colors;
+}
+
+std::vector<int> greedy_color(const Graph& g) {
+  const std::size_t n = g.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  std::vector<int> colors(n, -1);
+  for (NodeId v : order) colors[v] = lowest_free_color(g, colors, v);
+  return colors;
+}
+
+bool proper_coloring(const Graph& g, const std::vector<int>& colors) {
+  MHP_REQUIRE(colors.size() == g.size(), "colour vector size mismatch");
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (colors[v] < 0) return false;
+    for (NodeId w : g.neighbors(v))
+      if (colors[v] == colors[w]) return false;
+  }
+  return true;
+}
+
+int num_colors(const std::vector<int>& colors) {
+  int m = 0;
+  for (int c : colors) m = std::max(m, c + 1);
+  return m;
+}
+
+}  // namespace mhp

@@ -1,0 +1,47 @@
+// Inter-cluster interference removal (§V-G).
+//
+// Two mechanisms: (a) rotate a token among cluster heads so only one
+// cluster transmits at a time; (b) assign radio channels by colouring the
+// cluster adjacency graph — planar, so six colours always suffice via the
+// minimum-degree elimination argument (every planar graph has a vertex of
+// degree <= 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace mhp {
+
+/// Colour `g` with the degree<=5 elimination algorithm.  Guaranteed to use
+/// at most 6 colours on planar graphs (and max-degree+1 in general).
+/// Returns one colour (0-based) per vertex.
+std::vector<int> six_color_planar(const Graph& g);
+
+/// Simple greedy colouring in Welsh–Powell (degree-descending) order.
+std::vector<int> greedy_color(const Graph& g);
+
+/// True iff adjacent vertices always have different colours.
+bool proper_coloring(const Graph& g, const std::vector<int>& colors);
+
+int num_colors(const std::vector<int>& colors);
+
+/// Round-robin token rotation among `clusters` cluster heads: which
+/// cluster may transmit in global round `round`.
+class TokenRotation {
+ public:
+  explicit TokenRotation(std::size_t clusters) : clusters_(clusters) {}
+
+  std::size_t holder(std::uint64_t round) const {
+    return clusters_ == 0 ? 0 : round % clusters_;
+  }
+  bool may_transmit(std::size_t cluster, std::uint64_t round) const {
+    return holder(round) == cluster;
+  }
+
+ private:
+  std::size_t clusters_;
+};
+
+}  // namespace mhp

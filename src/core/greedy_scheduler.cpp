@@ -1,0 +1,167 @@
+#include "core/greedy_scheduler.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+RequestId GreedyPollingScheduler::add_request(std::vector<NodeId> path) {
+  MHP_REQUIRE(path.size() >= 2, "request path needs at least one hop");
+  const auto id = static_cast<RequestId>(requests_.size());
+  Request r;
+  r.req.id = id;
+  r.req.path = std::move(path);
+  requests_.push_back(std::move(r));
+  ++pending_active_;
+  return id;
+}
+
+std::vector<ScheduledTx>& GreedyPollingScheduler::occupancy(std::size_t slot) {
+  MHP_REQUIRE(slot >= slot_, "occupancy of a past slot");
+  const std::size_t k = slot - slot_;
+  while (future_.size() <= k) future_.emplace_back();
+  return future_[k];
+}
+
+bool GreedyPollingScheduler::admissible(const PollingRequest& r) const {
+  const auto order = static_cast<std::size_t>(oracle_.order());
+  for (std::size_t j = 0; j < r.hop_count(); ++j) {
+    const std::size_t k = j;  // hop j runs in slot slot_ + j
+    std::vector<Tx> group;
+    if (k < future_.size())
+      for (const auto& s : future_[k]) group.push_back(s.tx);
+    if (group.size() + 1 > order) return false;
+    group.push_back(r.hop(j));
+    if (!oracle_.compatible(group)) return false;
+  }
+  return true;
+}
+
+std::vector<ScheduledTx> GreedyPollingScheduler::plan_slot() {
+  MHP_REQUIRE(!planned_, "plan_slot called twice without complete_slot");
+  planned_ = true;
+  const auto order = static_cast<std::size_t>(oracle_.order());
+  for (auto& r : requests_) {
+    if (!r.active) continue;
+    if (!future_.empty() && future_[0].size() >= order) break;
+    if (!admissible(r.req)) continue;
+    r.active = false;
+    r.in_flight = true;
+    r.start_slot = slot_;
+    --pending_active_;
+    ++in_flight_;
+    for (std::size_t j = 0; j < r.req.hop_count(); ++j)
+      occupancy(slot_ + j).push_back(ScheduledTx{r.req.hop(j), r.req.id, j});
+  }
+  std::vector<ScheduledTx> now =
+      future_.empty() ? std::vector<ScheduledTx>{} : future_[0];
+  attempts_ += now.size();
+  return now;
+}
+
+std::vector<RequestId> GreedyPollingScheduler::due_now() const {
+  std::vector<RequestId> due;
+  for (const auto& r : requests_)
+    if (r.in_flight && r.start_slot + r.req.hop_count() == slot_ + 1)
+      due.push_back(r.req.id);
+  return due;
+}
+
+void GreedyPollingScheduler::complete_slot(
+    std::span<const RequestId> delivered) {
+  MHP_REQUIRE(planned_, "complete_slot without plan_slot");
+  planned_ = false;
+
+  // Commit this slot to history.
+  if (!future_.empty()) {
+    history_.slots.push_back(std::move(future_.front()));
+    future_.pop_front();
+  } else {
+    history_.slots.emplace_back();
+  }
+
+  const std::set<RequestId> got(delivered.begin(), delivered.end());
+  for (auto& r : requests_) {
+    if (!r.in_flight) continue;
+    if (r.start_slot + r.req.hop_count() != slot_ + 1) continue;
+    r.in_flight = false;
+    --in_flight_;
+    if (!got.contains(r.req.id)) {
+      r.active = true;
+      ++pending_active_;
+      ++reactivations_;
+    }
+  }
+  ++slot_;
+}
+
+void GreedyPollingScheduler::abandon(RequestId id) {
+  MHP_REQUIRE(id < requests_.size(), "unknown request");
+  Request& r = requests_[id];
+  MHP_REQUIRE(!r.in_flight, "cannot abandon an in-flight request");
+  if (!r.active) return;  // already done
+  r.active = false;
+  --pending_active_;
+}
+
+OfflineRunResult run_offline(const CompatibilityOracle& oracle,
+                             std::span<const std::vector<NodeId>> paths,
+                             const HopLossModel& loss,
+                             std::size_t max_slots) {
+  GreedyPollingScheduler sched(oracle);
+  for (const auto& p : paths) sched.add_request(p);
+
+  OfflineRunResult result;
+  // A request's packet arrives iff no hop transmission was lost.
+  std::vector<bool> hop_failed(paths.size(), false);
+  while (!sched.finished()) {
+    if (sched.current_slot() >= max_slots) {
+      result.slots = sched.current_slot();
+      result.schedule = sched.history();
+      return result;  // all_delivered stays false
+    }
+    const auto txs = sched.plan_slot();
+    for (const auto& s : txs) {
+      if (s.hop == 0) hop_failed[s.request] = false;  // fresh attempt
+      if (loss && !loss(s, sched.current_slot()))
+        hop_failed[s.request] = true;
+    }
+    std::vector<RequestId> delivered;
+    for (RequestId id : sched.due_now())
+      if (!hop_failed[id]) delivered.push_back(id);
+    sched.complete_slot(delivered);
+  }
+  result.schedule = sched.history();
+  result.slots = sched.current_slot();
+  result.all_delivered = true;
+  result.transmissions = sched.total_attempted_transmissions();
+  result.reactivations = sched.reactivations();
+  return result;
+}
+
+OfflineRunResult best_of_orders(const CompatibilityOracle& oracle,
+                                std::span<const std::vector<NodeId>> paths,
+                                std::size_t restarts, Rng& rng) {
+  OfflineRunResult best = run_offline(oracle, paths);
+  std::vector<std::vector<NodeId>> order(paths.begin(), paths.end());
+  for (std::size_t r = 0; r < restarts; ++r) {
+    rng.shuffle(order);
+    OfflineRunResult candidate = run_offline(oracle, order);
+    if (candidate.all_delivered &&
+        (!best.all_delivered || candidate.slots < best.slots))
+      best = std::move(candidate);
+  }
+  return best;
+}
+
+HopLossModel bernoulli_loss(double loss_rate, Rng& rng) {
+  MHP_REQUIRE(loss_rate >= 0.0 && loss_rate < 1.0,
+              "loss rate must be in [0,1)");
+  return [loss_rate, &rng](const ScheduledTx&, std::size_t) {
+    return !rng.bernoulli(loss_rate);
+  };
+}
+
+}  // namespace mhp

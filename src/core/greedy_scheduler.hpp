@@ -1,0 +1,118 @@
+// The on-line greedy polling scheduler (Table 1 of the paper).
+//
+// The head plans one slot at a time: scan the active requests in a fixed
+// order and admit each one whose transmissions (consecutive slots, one per
+// hop) stay compatible with everything already committed, stopping at M
+// concurrent transmissions per slot.  After each slot the head knows which
+// packets were due (start slot + hop count); a missing packet re-activates
+// its request — this on-line loop is what absorbs wireless loss.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+
+class GreedyPollingScheduler {
+ public:
+  explicit GreedyPollingScheduler(const CompatibilityOracle& oracle)
+      : oracle_(oracle) {}
+
+  /// Register a packet to collect; requests are scanned in insertion
+  /// order (the paper's "arbitrary predetermined order").
+  RequestId add_request(std::vector<NodeId> path);
+
+  bool finished() const { return pending_active_ == 0 && in_flight_ == 0; }
+  std::size_t current_slot() const { return slot_; }
+
+  /// Plan the current slot: admit active requests, return every
+  /// transmission running in it (newly started and relays).
+  std::vector<ScheduledTx> plan_slot();
+
+  /// Requests whose packet is due at the head at the end of the current
+  /// slot (last hop runs now).
+  std::vector<RequestId> due_now() const;
+
+  /// Report the outcome of the current slot and advance to the next one:
+  /// due requests present in `delivered` complete, the rest re-activate.
+  void complete_slot(std::span<const RequestId> delivered);
+
+  /// Give up on an *active* (not in-flight) request — e.g. after too many
+  /// re-polls.  No-op if it already completed.
+  void abandon(RequestId id);
+
+  /// Slots holding at least one transmission so far (committed history).
+  const Schedule& history() const { return history_; }
+
+  std::size_t total_attempted_transmissions() const { return attempts_; }
+
+  /// How many times requests were re-activated after a loss.
+  std::size_t reactivations() const { return reactivations_; }
+
+ private:
+  struct Request {
+    PollingRequest req;
+    bool active = true;      // waiting to be admitted
+    bool in_flight = false;  // admitted, not yet resolved
+    std::size_t start_slot = 0;
+  };
+
+  /// Transmissions already committed to `slot` (relays of in-flight
+  /// requests and requests admitted earlier in this planning pass).
+  std::vector<ScheduledTx>& occupancy(std::size_t slot);
+
+  bool admissible(const PollingRequest& r) const;
+
+  const CompatibilityOracle& oracle_;
+  std::vector<Request> requests_;
+  std::deque<std::vector<ScheduledTx>> future_;  // future_[k] = slot_+k
+  Schedule history_;
+  std::size_t slot_ = 0;
+  std::size_t pending_active_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t attempts_ = 0;
+  std::size_t reactivations_ = 0;
+  bool planned_ = false;
+};
+
+/// Per-hop loss model for offline runs: returns true when the hop's
+/// transmission succeeds.  The default delivers everything.
+using HopLossModel = std::function<bool(const ScheduledTx&, std::size_t slot)>;
+
+struct OfflineRunResult {
+  Schedule schedule;        // what actually ran, slot by slot
+  std::size_t slots = 0;    // schedule length (including loss recovery)
+  bool all_delivered = false;
+  std::size_t transmissions = 0;
+  std::size_t reactivations = 0;
+};
+
+/// Drive the scheduler to completion without a simulator: every planned
+/// hop succeeds unless `loss` says otherwise; a request whose any hop
+/// failed does not arrive and is re-polled.  `max_slots` guards against
+/// pathological loss models.
+OfflineRunResult run_offline(const CompatibilityOracle& oracle,
+                             std::span<const std::vector<NodeId>> paths,
+                             const HopLossModel& loss = {},
+                             std::size_t max_slots = 1'000'000);
+
+/// Bernoulli per-hop loss model with probability `loss_rate`.
+HopLossModel bernoulli_loss(double loss_rate, Rng& rng);
+
+/// The paper scans requests in an "arbitrary predetermined order"; the
+/// order matters.  Run the greedy scheduler under `restarts` random
+/// permutations (plus the given order) and keep the shortest schedule.
+/// Offline-only: an on-line head cannot reshuffle mid-cycle, but it can
+/// precompute a good order for the *expected* workload.
+OfflineRunResult best_of_orders(const CompatibilityOracle& oracle,
+                                std::span<const std::vector<NodeId>> paths,
+                                std::size_t restarts, Rng& rng);
+
+}  // namespace mhp

@@ -1,0 +1,154 @@
+// The cluster head's controller: runs the duty-cycle protocol of §II over
+// the event-driven channel.
+//
+// Per duty cycle (per sector when sectoring is on): broadcast a wake-up
+// inquiry, collect aggregated acknowledgements along set-cover paths
+// (§V-F), turn the reported backlogs into polling requests, drive the
+// on-line greedy scheduler slot by slot (§III-D) re-polling losses, then
+// put the sector to sleep with its next wake time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/interference.hpp"
+#include "core/protocol_config.hpp"
+#include "core/protocol_messages.hpp"
+#include "core/routing.hpp"
+#include "core/sectors.hpp"
+#include "net/cluster.hpp"
+#include "net/packet.hpp"
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/stats.hpp"
+
+namespace mhp {
+
+/// Everything the head decided at set-up time for one sector.
+struct SectorPlan {
+  std::vector<NodeId> members;
+  /// Relaying path per member (member id → full path to head).
+  std::map<NodeId, std::vector<NodeId>> data_path;
+  /// Ack-collection cover paths (origin … head).
+  std::vector<std::vector<NodeId>> ack_paths;
+};
+
+/// Supplies the per-cycle sector plans.  Multi-path rotation (§V-D)
+/// changes relaying paths from cycle to cycle; sector *membership* must
+/// stay fixed (the head's wake windows are sized at set-up).
+class CyclePlanProvider {
+ public:
+  virtual ~CyclePlanProvider() = default;
+  virtual const std::vector<SectorPlan>& plans(std::uint64_t cycle) = 0;
+};
+
+class HeadAgent : public ChannelListener {
+ public:
+  /// Static plans: every cycle uses the same paths.  `trace` (optional)
+  /// receives kProtocol entries for cycle/phase transitions.
+  HeadAgent(NodeId id, Simulator& sim, Channel& channel, FrameUidSource& uids,
+            const ProtocolConfig& cfg, const CompatibilityOracle& oracle,
+            std::vector<SectorPlan> sectors, Rng rng, Trace* trace = nullptr);
+
+  /// Rotating plans: paths come from `provider` each cycle.  The
+  /// provider must outlive the agent and keep sector membership stable.
+  HeadAgent(NodeId id, Simulator& sim, Channel& channel, FrameUidSource& uids,
+            const ProtocolConfig& cfg, const CompatibilityOracle& oracle,
+            CyclePlanProvider& provider, Rng rng, Trace* trace = nullptr);
+
+  /// Kick off the first duty cycle at `first_cycle_start`.
+  void start(Time first_cycle_start);
+
+  // --- ChannelListener ---
+  void on_frame_begin(const Frame& frame, NodeId from, double rx_power_w,
+                      Time end) override;
+  void on_frame_end(const Frame& frame, NodeId from, bool phy_ok) override;
+
+  // --- statistics ---
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t packets_lost_abort() const { return lost_abort_; }
+  std::uint64_t packets_lost_retry() const { return lost_retry_; }
+  std::uint64_t cycles_completed() const { return cycles_done_; }
+  std::uint64_t polls_sent() const { return polls_sent_; }
+  std::uint64_t reactivations() const { return reactivations_; }
+  /// Duty time (wake-up to sleep broadcast) per sector drain.
+  const Accumulator& duty_time_s() const { return duty_time_s_; }
+  /// Mean packet delivery latency (generation to head reception).
+  const Accumulator& latency_s() const { return latency_s_; }
+  const EnergyMeter& meter() const { return tracker_.meter(); }
+
+  void reset_stats(Time now);
+
+ private:
+  struct PhaseState {
+    bool is_ack = false;
+    std::optional<GreedyPollingScheduler> sched;
+    /// wire request id = wire_base + scheduler-local id.
+    std::uint32_t wire_base = 0;
+    std::map<RequestId, std::uint32_t> attempts;
+    std::uint32_t total = 0;
+    std::uint32_t delivered = 0;
+    std::uint32_t abandoned = 0;
+  };
+
+  void begin_cycle();
+  void begin_sector(std::size_t k);
+  void reset_phase(bool is_ack);
+  const std::vector<SectorPlan>& current_plans() const;
+  void init_windows();
+  void start_ack_phase();
+  void start_data_phase();
+  void run_slot();
+  void finish_slot();
+  void end_sector();
+  void broadcast(ControlPayload msg);
+  Time window_start(std::uint64_t cycle, std::size_t sector) const;
+  Time window_end() const;
+
+  NodeId id_;
+  Simulator& sim_;
+  Channel& channel_;
+  FrameUidSource& uids_;
+  const ProtocolConfig& cfg_;
+  const CompatibilityOracle& oracle_;
+  std::vector<SectorPlan> sectors_;        // static plans (unused when
+  CyclePlanProvider* provider_ = nullptr;  // a provider is set)
+  Rng rng_;
+  Trace* trace_ = nullptr;
+  RadioTracker tracker_;
+
+  std::uint64_t cycle_ = 0;
+  std::size_t sector_ = 0;
+  Time t0_;
+  Time cycle_start_;
+  Time sector_began_;
+  std::vector<Time> window_offset_;  // per sector, plus the period at back
+  std::uint32_t next_wire_ = 1;
+  PhaseState phase_;
+  std::uint32_t slot_in_sector_ = 0;
+  int rx_depth_ = 0;
+
+  // Frames that arrived at the head during the current slot.
+  std::set<std::uint32_t> arrived_wire_;
+  std::vector<AckPayload> arrived_acks_;
+  std::map<NodeId, std::uint32_t> backlog_;
+
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t lost_abort_ = 0;
+  std::uint64_t lost_retry_ = 0;
+  std::uint64_t cycles_done_ = 0;
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t reactivations_ = 0;
+  Accumulator duty_time_s_;
+  Accumulator latency_s_;
+};
+
+}  // namespace mhp

@@ -1,0 +1,132 @@
+#include "core/interference.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+TxGroup normalize(std::span<const Tx> txs) {
+  TxGroup g(txs.begin(), txs.end());
+  std::sort(g.begin(), g.end());
+  g.erase(std::unique(g.begin(), g.end()), g.end());
+  return g;
+}
+
+bool structurally_valid(std::span<const Tx> txs) {
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (txs[i].from == txs[i].to) return false;
+    for (std::size_t j = 0; j < txs.size(); ++j) {
+      if (i == j) continue;
+      if (txs[i].from == txs[j].from) return false;  // duplicate sender
+      if (txs[i].from == txs[j].to) return false;    // half-duplex
+      if (txs[i].to == txs[j].to) return false;      // receiver contention
+    }
+  }
+  return true;
+}
+
+bool CompatibilityOracle::compatible(std::span<const Tx> txs) const {
+  if (txs.size() <= 1) return txs.empty() || txs[0].from != txs[0].to;
+  if (static_cast<int>(txs.size()) > order()) return false;
+  if (!structurally_valid(txs)) return false;
+  return compatible_impl(normalize(txs));
+}
+
+void ExplicitOracle::allow_pair(Tx a, Tx b) {
+  pairs_.insert(normalize(std::vector<Tx>{a, b}));
+}
+
+void ExplicitOracle::allow_group(std::span<const Tx> txs) {
+  const TxGroup g = normalize(txs);
+  MHP_REQUIRE(static_cast<int>(g.size()) <= order_,
+              "group larger than oracle order");
+  for (std::size_t i = 0; i < g.size(); ++i)
+    for (std::size_t j = i + 1; j < g.size(); ++j)
+      allow_pair(g[i], g[j]);
+  if (g.size() > 2) groups_.insert(g);
+}
+
+void ExplicitOracle::forbid_group(std::span<const Tx> txs) {
+  forbidden_.insert(normalize(txs));
+}
+
+bool ExplicitOracle::compatible_impl(const TxGroup& group) const {
+  if (forbidden_.contains(group)) return false;
+  if (group.size() == 2) return pairs_.contains(group);
+  // Larger groups: explicitly listed, or all pairs allowed and nothing
+  // forbidden (pairwise screen — exactly what a pair-only table knows).
+  if (groups_.contains(group)) return true;
+  for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t j = i + 1; j < group.size(); ++j)
+      if (!pairs_.contains(normalize(std::vector<Tx>{group[i], group[j]})))
+        return false;
+  return true;
+}
+
+bool ChannelOracle::compatible_impl(const TxGroup& group) const {
+  std::vector<Channel::TxRx> txs;
+  txs.reserve(group.size());
+  for (const Tx& t : group) txs.push_back({t.from, t.to});
+  const auto outcome = channel_.concurrent_outcome(txs);
+  return std::all_of(outcome.begin(), outcome.end(),
+                     [](bool ok) { return ok; });
+}
+
+MeasuredOracle::MeasuredOracle(const CompatibilityOracle& truth,
+                               std::span<const Tx> universe, int order)
+    : order_(order) {
+  MHP_REQUIRE(order >= 1, "order must be at least 1");
+  const TxGroup all = normalize(universe);
+  const std::size_t u = all.size();
+  // Enumerate subsets of size 2..order via index combinations.
+  std::vector<std::size_t> idx;
+  auto probe_combinations = [&](auto&& self, std::size_t start,
+                                std::size_t k) -> void {
+    if (idx.size() == k) {
+      TxGroup g;
+      g.reserve(k);
+      for (std::size_t i : idx) g.push_back(all[i]);
+      ++probes_;
+      if (truth.compatible(g)) compatible_.insert(std::move(g));
+      return;
+    }
+    for (std::size_t i = start; i + (k - idx.size()) <= u; ++i) {
+      idx.push_back(i);
+      self(self, i + 1, k);
+      idx.pop_back();
+    }
+  };
+  for (int k = 2; k <= order; ++k)
+    probe_combinations(probe_combinations, 0, static_cast<std::size_t>(k));
+}
+
+bool MeasuredOracle::compatible_impl(const TxGroup& group) const {
+  return compatible_.contains(group);
+}
+
+std::uint64_t MeasuredOracle::probe_count(std::size_t universe_size,
+                                          int order) {
+  std::uint64_t total = 0;
+  for (int k = 2; k <= order; ++k) {
+    if (static_cast<std::size_t>(k) > universe_size) break;
+    // C(u, k), computed with exact intermediate divisibility.
+    std::uint64_t c = 1;
+    for (int i = 0; i < k; ++i)
+      c = c * (universe_size - static_cast<std::size_t>(i)) /
+          static_cast<std::uint64_t>(i + 1);
+    total += c;
+  }
+  return total;
+}
+
+std::vector<Tx> transmissions_of_paths(
+    const std::vector<std::vector<NodeId>>& paths) {
+  std::vector<Tx> txs;
+  for (const auto& path : paths)
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      txs.push_back(Tx{path[i], path[i + 1]});
+  return normalize(txs);
+}
+
+}  // namespace mhp

@@ -1,0 +1,144 @@
+// Interference knowledge: which groups of transmissions are compatible
+// (contention-free when concurrent).
+//
+// Per §III-B the paper refuses both the protocol (disc) model and the
+// power-law physical model: coverage and interference are *arbitrary*, and
+// the cluster head learns them by testing groups of at most M transmissions
+// (M = 2 or 3).  The scheduler therefore never asks about groups larger
+// than M and treats unknown groups as incompatible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/ids.hpp"
+#include "radio/channel.hpp"
+
+namespace mhp {
+
+/// One single-hop transmission from→to.
+struct Tx {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+
+  friend auto operator<=>(const Tx&, const Tx&) = default;
+};
+
+/// Canonical key for a transmission group (sorted, duplicate-free).
+using TxGroup = std::vector<Tx>;
+TxGroup normalize(std::span<const Tx> txs);
+
+/// Structural feasibility every oracle enforces before its own answer:
+/// distinct senders, no node both sending and receiving (half-duplex),
+/// no receiver hearing two group members addressed to it.
+bool structurally_valid(std::span<const Tx> txs);
+
+class CompatibilityOracle {
+ public:
+  virtual ~CompatibilityOracle() = default;
+
+  /// Largest group size the oracle has knowledge of.
+  virtual int order() const = 0;
+
+  /// True iff the group can run concurrently with every transmission
+  /// received.  Groups larger than order() are conservatively incompatible.
+  bool compatible(std::span<const Tx> txs) const;
+
+ protected:
+  /// Answer for a structurally valid, normalized group of size in
+  /// [2, order()].  (Singletons are compatible by definition; the empty
+  /// group trivially so.)
+  virtual bool compatible_impl(const TxGroup& group) const = 0;
+};
+
+/// Table-driven oracle for tests and the NP-hardness reductions: compatible
+/// pairs (and optionally larger groups) are listed explicitly; a group is
+/// compatible iff every subset of size <= `subset_order` that must be
+/// checked is present.  By default the table lists *pairs* and a group is
+/// compatible iff all its pairs are (exactly the pairwise knowledge the
+/// reductions in §III-C construct).
+class ExplicitOracle : public CompatibilityOracle {
+ public:
+  explicit ExplicitOracle(int order = 2) : order_(order) {}
+
+  int order() const override { return order_; }
+
+  /// Declare an unordered pair of transmissions compatible.
+  void allow_pair(Tx a, Tx b);
+
+  /// Declare a whole group compatible (adds all its pairs too, so pairwise
+  /// screening passes).
+  void allow_group(std::span<const Tx> txs);
+
+  /// Mark a specific group incompatible even though its pairs are allowed
+  /// (models accumulated interference, Fig. 3).
+  void forbid_group(std::span<const Tx> txs);
+
+ protected:
+  bool compatible_impl(const TxGroup& group) const override;
+
+ private:
+  int order_;
+  std::set<TxGroup> pairs_;
+  std::set<TxGroup> groups_;
+  std::set<TxGroup> forbidden_;
+};
+
+/// Ground-truth oracle backed by the channel's SINR model: a group is
+/// compatible iff every transmission in it decodes under the others'
+/// summed interference.  Used as the "reality" the measured oracle probes.
+class ChannelOracle : public CompatibilityOracle {
+ public:
+  ChannelOracle(const Channel& channel, int order)
+      : channel_(channel), order_(order) {}
+
+  int order() const override { return order_; }
+
+ protected:
+  bool compatible_impl(const TxGroup& group) const override;
+
+ private:
+  const Channel& channel_;
+  int order_;
+};
+
+/// The head's measured knowledge (§V-E): probe every group of at most M
+/// transmissions drawn from a candidate universe (the transmissions the
+/// relaying paths actually use) and memoize the outcomes.  Query cost is a
+/// lookup; probing cost (number of groups tested) is what sectoring
+/// reduces (§IV).
+class MeasuredOracle : public CompatibilityOracle {
+ public:
+  /// Probes all size-2..M subsets of `universe` against `truth`.
+  MeasuredOracle(const CompatibilityOracle& truth,
+                 std::span<const Tx> universe, int order);
+
+  int order() const override { return order_; }
+
+  /// Number of groups probed during construction.
+  std::uint64_t probes() const { return probes_; }
+
+  /// The number of groups a full probe of a universe of `u` transmissions
+  /// at order M would need (the paper's 1320-vs-85320 argument).
+  static std::uint64_t probe_count(std::size_t universe_size, int order);
+
+ protected:
+  bool compatible_impl(const TxGroup& group) const override;
+
+ private:
+  int order_;
+  std::uint64_t probes_ = 0;
+  std::set<TxGroup> compatible_;
+};
+
+/// The set of single-hop transmissions used by a set of relaying paths —
+/// the natural probe universe.
+std::vector<Tx> transmissions_of_paths(
+    const std::vector<std::vector<NodeId>>& paths);
+
+}  // namespace mhp

@@ -1,0 +1,58 @@
+// The Joint Multi-Hop Routing and Polling problem (§III-E).
+//
+// The paper decomposes routing and scheduling because the joint problem
+// — pick relaying paths *and* a schedule minimizing the worst sensor's
+// power rate α·load + β·polling_time — is NP-hard (it contains TSRFP).
+// This module provides the exact joint optimum by exhaustive search over
+// per-sensor path choices (tiny instances only), so the decomposition's
+// optimality gap can be measured (see bench/ablation_joint.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/schedule.hpp"
+#include "net/cluster.hpp"
+
+namespace mhp {
+
+struct JmhrpParams {
+  double alpha = 1.0;  // weight of per-sensor transmission load
+  double beta = 0.1;   // weight of the schedule length (polling time)
+};
+
+struct JmhrpResult {
+  /// Chosen relaying path per sensor (index into its candidate list).
+  std::vector<std::size_t> choice;
+  std::vector<std::vector<NodeId>> paths;
+  Schedule schedule;
+  std::size_t slots = 0;
+  /// max over sensors of α·load + β·slots — the §III-E power rate.
+  double max_power_rate = 0.0;
+};
+
+/// All simple relaying paths of `s` to the head, shortest-first, capped
+/// at `max_paths` per sensor and `max_hops` length.
+std::vector<std::vector<NodeId>> candidate_paths(const ClusterTopology& topo,
+                                                 NodeId s,
+                                                 std::size_t max_paths = 4,
+                                                 std::size_t max_hops = 5);
+
+/// Exact joint optimum: every combination of candidate paths is routed,
+/// scheduled exactly, and scored.  Exponential in sensors × candidates —
+/// instances of at most ~6 sensors.  Returns nullopt if no combination
+/// is schedulable.
+std::optional<JmhrpResult> solve_jmhrp_exact(const ClusterTopology& topo,
+                                             const CompatibilityOracle& oracle,
+                                             JmhrpParams params = {},
+                                             std::size_t max_paths = 3);
+
+/// The paper's decomposition on the same instance: min-max-load routing
+/// then the greedy schedule, scored with the same power rate.
+std::optional<JmhrpResult> solve_jmhrp_decomposed(
+    const ClusterTopology& topo, const CompatibilityOracle& oracle,
+    JmhrpParams params = {});
+
+}  // namespace mhp

@@ -1,0 +1,207 @@
+#include "core/multi_cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ack_collection.hpp"
+#include "core/coloring.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+const char* to_string(InterClusterMode mode) {
+  switch (mode) {
+    case InterClusterMode::kShared:
+      return "shared";
+    case InterClusterMode::kColored:
+      return "colored";
+    case InterClusterMode::kToken:
+      return "token";
+  }
+  return "?";
+}
+
+MultiClusterSimulation::MultiClusterSimulation(
+    std::vector<ClusterSpec> clusters, ProtocolConfig cfg,
+    InterClusterMode mode, double rate_bps, double interference_range)
+    : cfg_(cfg), mode_(mode), rate_bps_(rate_bps) {
+  MHP_REQUIRE(!clusters.empty(), "need at least one cluster");
+  build(std::move(clusters), rate_bps, interference_range);
+}
+
+void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
+                                   double rate_bps,
+                                   double interference_range) {
+  const std::size_t num_clusters = specs.size();
+  propagation_ = std::make_unique<TwoRayGround>();
+
+  // Channel groups.  kColored: colour the cluster adjacency graph; each
+  // colour is an isolated channel.  Otherwise everyone shares channel 0.
+  std::vector<int> group_of(num_clusters, 0);
+  if (mode_ == InterClusterMode::kColored) {
+    Graph adjacency(num_clusters);
+    for (NodeId a = 0; a < num_clusters; ++a)
+      for (NodeId b = a + 1; b < num_clusters; ++b) {
+        const Vec2 ha = specs[a].origin + specs[a].deployment.head_pos();
+        const Vec2 hb = specs[b].origin + specs[b].deployment.head_pos();
+        if (distance(ha, hb) <= interference_range) adjacency.add_edge(a, b);
+      }
+    const auto colors = six_color_planar(adjacency);
+    MHP_ENSURE(proper_coloring(adjacency, colors), "colouring failed");
+    group_of = colors;
+    channels_used_ = num_colors(colors);
+  } else {
+    channels_used_ = 1;
+  }
+  const int num_groups =
+      1 + *std::max_element(group_of.begin(), group_of.end());
+
+  // One Channel per group, nodes concatenated cluster by cluster.
+  struct Placement {
+    int group;
+    NodeId base;  // first global id of this cluster on its channel
+  };
+  std::vector<Placement> placement(num_clusters);
+  std::vector<std::vector<Vec2>> positions(num_groups);
+  std::vector<std::vector<double>> powers(num_groups);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    const int g = group_of[c];
+    placement[c] = {g, static_cast<NodeId>(positions[g].size())};
+    const auto& dep = specs[c].deployment;
+    for (std::size_t i = 0; i < dep.positions.size(); ++i) {
+      positions[g].push_back(specs[c].origin + dep.positions[i]);
+      powers[g].push_back(i + 1 == dep.positions.size()
+                              ? RadioParams::kHeadTxPowerW
+                              : RadioParams::kSensorTxPowerW);
+    }
+  }
+  channels_.reserve(static_cast<std::size_t>(num_groups));
+  for (int g = 0; g < num_groups; ++g)
+    channels_.push_back(std::make_unique<Channel>(
+        sim_, *propagation_, cfg_.radio, positions[static_cast<std::size_t>(g)],
+        powers[static_cast<std::size_t>(g)]));
+
+  // Token rotation: each head drains in its own window of the cycle.
+  // (head_cfg_ is a member: the head agents hold a reference to it.)
+  head_cfg_ = cfg_;
+  if (mode_ == InterClusterMode::kToken)
+    head_cfg_.max_drain_window = Time::ns(cfg_.cycle_period.nanos() /
+                                          static_cast<std::int64_t>(
+                                              num_clusters));
+
+  Rng root(cfg_.seed);
+  clusters_.resize(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    ClusterRt& rt = clusters_[c];
+    Channel& channel = *channels_[static_cast<std::size_t>(placement[c].group)];
+    const std::size_t n = specs[c].deployment.num_sensors();
+    const NodeId base = placement[c].base;
+    rt.num_sensors = n;
+    rt.head = base + static_cast<NodeId>(n);
+
+    // Local topology over this cluster's own nodes.
+    rt.topo = std::make_unique<ClusterTopology>(topology_from_predicate(
+        n, [&](NodeId a, NodeId b) {
+          return channel.link_ok(base + a, base + b);
+        }));
+    MHP_REQUIRE(rt.topo->fully_connected(), "cluster not fully connected");
+
+    const double cycle_s = cfg_.cycle_period.to_seconds();
+    std::vector<std::int64_t> demand(n);
+    for (auto& d : demand)
+      d = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::llround(std::ceil(
+                 rate_bps * cycle_s /
+                 static_cast<double>(cfg_.data_bytes)))));
+    rt.plan = std::make_unique<RelayPlan>(RelayPlan::balanced(*rt.topo,
+                                                              demand));
+
+    // Global (channel-id) paths: the local head is id n, so adding the
+    // base translates sensors and head alike.
+    auto globalize = [base](std::vector<NodeId> path) {
+      for (NodeId& v : path) v = base + v;
+      return path;
+    };
+    SectorPlan sp;
+    sp.members.resize(n);
+    std::vector<std::vector<NodeId>> candidates;
+    for (NodeId s = 0; s < n; ++s) {
+      sp.members[s] = base + s;
+      auto path = globalize(rt.plan->path_for_cycle(s, 0).hops);
+      sp.data_path[base + s] = path;
+      candidates.push_back(std::move(path));
+    }
+    const AckPlan ack = plan_ack_cover(sp.members, candidates);
+    MHP_ENSURE(ack.covers_all, "ack cover incomplete");
+    sp.ack_paths = ack.poll_paths;
+
+    std::vector<std::vector<NodeId>> all_paths = candidates;
+    for (const auto& p : sp.ack_paths) all_paths.push_back(p);
+    rt.truth = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
+    rt.oracle = std::make_unique<MeasuredOracle>(
+        *rt.truth, transmissions_of_paths(all_paths), cfg_.oracle_order);
+
+    rt.head_agent = std::make_unique<HeadAgent>(
+        rt.head, sim_, channel, uids_, head_cfg_, *rt.oracle,
+        std::vector<SectorPlan>{sp}, root.split(1000 + c));
+    rt.sensors.reserve(n);
+    for (NodeId s = 0; s < n; ++s) {
+      auto agent = std::make_unique<SensorAgent>(
+          base + s, sim_, channel, uids_, cfg_,
+          root.split(c * 1000 + s + 1));
+      agent->set_head(rt.head);
+      agent->start_sampling(rate_bps);
+      rt.sensors.push_back(std::move(agent));
+    }
+
+    // Staggered starts for token rotation; simultaneous otherwise (the
+    // worst case for the shared channel).
+    Time start = Time::ms(10);
+    if (mode_ == InterClusterMode::kToken)
+      start += Time::ns(static_cast<std::int64_t>(c) *
+                        head_cfg_.max_drain_window.nanos());
+    rt.head_agent->start(start);
+  }
+}
+
+MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
+  MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
+  sim_.run_until(warmup);
+  for (auto& rt : clusters_) {
+    rt.head_agent->reset_stats(sim_.now());
+    for (auto& s : rt.sensors) s->reset_stats(sim_.now());
+  }
+  sim_.run_until(duration);
+
+  MultiClusterReport rep;
+  rep.channels_used = channels_used_;
+  std::uint64_t total_generated = 0, total_delivered = 0, total_bytes = 0;
+  for (auto& rt : clusters_) {
+    std::uint64_t generated = 0;
+    double active = 0.0;
+    for (auto& s : rt.sensors) {
+      s->settle(sim_.now());
+      generated += s->packets_generated();
+      active += s->meter().active_fraction();
+    }
+    const std::uint64_t delivered = rt.head_agent->packets_received();
+    rep.delivery_ratio.push_back(
+        generated == 0 ? 1.0
+                       : static_cast<double>(delivered) /
+                             static_cast<double>(generated));
+    rep.mean_active.push_back(active /
+                              static_cast<double>(rt.sensors.size()));
+    total_generated += generated;
+    total_delivered += delivered;
+    total_bytes += rt.head_agent->bytes_received();
+  }
+  rep.aggregate_delivery =
+      total_generated == 0 ? 1.0
+                           : static_cast<double>(total_delivered) /
+                                 static_cast<double>(total_generated);
+  rep.aggregate_throughput_bps =
+      static_cast<double>(total_bytes) / (duration - warmup).to_seconds();
+  return rep;
+}
+
+}  // namespace mhp

@@ -1,0 +1,87 @@
+// Multiple clusters in one field (§V-G): quantify inter-cluster
+// interference and the paper's two remedies.
+//
+//  * kShared  — every cluster polls on one radio channel; boundary
+//    sensors of neighboring clusters collide (the problem).
+//  * kColored — clusters get channels from a colouring of the cluster
+//    adjacency graph (≤6 needed, planar); same-colour clusters are far
+//    apart, different colours are modelled as isolated channels.
+//  * kToken   — one shared channel, but heads take turns: head k drains
+//    in window k of each cycle (period/K each), so no two clusters are
+//    ever on the air together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/head_agent.hpp"
+#include "core/polling_simulation.hpp"
+#include "core/protocol_config.hpp"
+#include "core/sensor_agent.hpp"
+#include "net/deployment.hpp"
+#include "radio/channel.hpp"
+#include "radio/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace mhp {
+
+enum class InterClusterMode { kShared, kColored, kToken };
+
+const char* to_string(InterClusterMode mode);
+
+struct ClusterSpec {
+  Deployment deployment;  // positions relative to the cluster's own frame
+  Vec2 origin;            // where this cluster sits in the field
+};
+
+struct MultiClusterReport {
+  std::vector<double> delivery_ratio;  // per cluster
+  std::vector<double> mean_active;     // per cluster
+  double aggregate_delivery = 0.0;
+  double aggregate_throughput_bps = 0.0;
+  int channels_used = 1;
+};
+
+class MultiClusterSimulation {
+ public:
+  MultiClusterSimulation(std::vector<ClusterSpec> clusters,
+                         ProtocolConfig cfg, InterClusterMode mode,
+                         double rate_bps,
+                         double interference_range = 400.0);
+
+  MultiClusterSimulation(const MultiClusterSimulation&) = delete;
+  MultiClusterSimulation& operator=(const MultiClusterSimulation&) = delete;
+
+  MultiClusterReport run(Time duration, Time warmup = Time::sec(10));
+
+  int channels_used() const { return channels_used_; }
+
+ private:
+  struct ClusterRt {
+    std::size_t num_sensors = 0;
+    NodeId head = kNoNode;               // global id on its channel
+    std::unique_ptr<ClusterTopology> topo;
+    std::unique_ptr<RelayPlan> plan;
+    std::unique_ptr<ChannelOracle> truth;
+    std::unique_ptr<MeasuredOracle> oracle;
+    std::unique_ptr<HeadAgent> head_agent;
+    std::vector<std::unique_ptr<SensorAgent>> sensors;
+  };
+
+  void build(std::vector<ClusterSpec> clusters, double rate_bps,
+             double interference_range);
+
+  ProtocolConfig cfg_;
+  ProtocolConfig head_cfg_;  // cfg_ plus the token drain window; the
+                             // head agents keep a reference to it
+  InterClusterMode mode_;
+  Simulator sim_;
+  FrameUidSource uids_;
+  std::unique_ptr<Propagation> propagation_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<ClusterRt> clusters_;
+  int channels_used_ = 1;
+  double rate_bps_ = 0.0;
+};
+
+}  // namespace mhp

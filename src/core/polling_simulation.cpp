@@ -1,0 +1,223 @@
+#include "core/polling_simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ack_collection.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+PollingSimulation::RotatingProvider::RotatingProvider(
+    const ClusterTopology& topo, const RelayPlan& plan)
+    : topo_(topo), plan_(plan) {}
+
+const std::vector<SectorPlan>& PollingSimulation::RotatingProvider::plans(
+    std::uint64_t cycle) {
+  if (cycle == cached_cycle_) return cached_;
+  const std::size_t n = topo_.num_sensors();
+  SectorPlan sp;
+  sp.members.resize(n);
+  for (NodeId s = 0; s < n; ++s) sp.members[s] = s;
+  std::vector<std::vector<NodeId>> candidates;
+  candidates.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    auto path = plan_.path_for_cycle(s, cycle).hops;
+    sp.data_path[s] = path;
+    candidates.push_back(std::move(path));
+  }
+  const AckPlan ack = plan_ack_cover(sp.members, candidates);
+  MHP_ENSURE(ack.covers_all, "ack cover incomplete");
+  sp.ack_paths = ack.poll_paths;
+  cached_.clear();
+  cached_.push_back(std::move(sp));
+  cached_cycle_ = cycle;
+  return cached_;
+}
+
+PollingSimulation::PollingSimulation(const Deployment& deployment,
+                                     ProtocolConfig cfg,
+                                     std::vector<double> rates_bps)
+    : cfg_(cfg), rates_(std::move(rates_bps)) {
+  MHP_REQUIRE(rates_.size() == deployment.num_sensors(),
+              "one rate per sensor required");
+  setup(deployment);
+}
+
+PollingSimulation::PollingSimulation(const Deployment& deployment,
+                                     ProtocolConfig cfg, double rate_bps)
+    : PollingSimulation(deployment, cfg,
+                        std::vector<double>(deployment.num_sensors(),
+                                            rate_bps)) {}
+
+void PollingSimulation::setup(const Deployment& deployment) {
+  const std::size_t n = deployment.num_sensors();
+  MHP_REQUIRE(n >= 1, "need at least one sensor");
+
+  switch (cfg_.propagation) {
+    case PropagationModel::kTwoRayGround:
+      propagation_ = std::make_unique<TwoRayGround>();
+      break;
+    case PropagationModel::kFreeSpace:
+      propagation_ = std::make_unique<FreeSpace>();
+      break;
+    case PropagationModel::kLogNormalShadowing:
+      propagation_ = std::make_unique<LogDistanceShadowing>(
+          cfg_.shadowing_exponent, cfg_.shadowing_sigma_db, 1.0, 914e6,
+          cfg_.environment_seed);
+      break;
+  }
+  std::vector<double> powers(n + 1, RadioParams::kSensorTxPowerW);
+  powers[n] = RadioParams::kHeadTxPowerW;
+  channel_ = std::make_unique<Channel>(sim_, *propagation_, cfg_.radio,
+                                       deployment.positions, powers);
+  channel_->set_trace(&trace_);
+
+  // §V-B: the head discovers connectivity by probing, which amounts to the
+  // channel's interference-free link test.
+  topo_ = std::make_unique<ClusterTopology>(topology_from_predicate(
+      n, [this](NodeId a, NodeId b) { return channel_->link_ok(a, b); }));
+  MHP_REQUIRE(topo_->fully_connected(),
+              "cluster not fully connected; adjust deployment");
+
+  // Routing demand: expected packets per duty cycle (at least 1 so every
+  // sensor owns a relaying path).
+  const double cycle_s = cfg_.cycle_period.to_seconds();
+  std::vector<std::int64_t> demand(n, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    const double per_cycle =
+        rates_[s] * cycle_s / static_cast<double>(cfg_.data_bytes);
+    demand[s] = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(std::ceil(per_cycle))));
+  }
+  plan_ = std::make_unique<RelayPlan>(RelayPlan::balanced(*topo_, demand));
+
+  truth_ = std::make_unique<ChannelOracle>(*channel_, cfg_.oracle_order);
+
+  // Assemble sector plans (one covering sector when sectoring is off).
+  std::vector<SectorPlan> sector_plans;
+  std::vector<int> sector_of(n, 0);
+  if (cfg_.use_sectors) {
+    SectorPartitioner partitioner(*topo_);
+    partition_ = partitioner.partition(*plan_, demand, truth_.get());
+    for (std::size_t k = 0; k < partition_->sectors.size(); ++k) {
+      SectorPlan sp;
+      sp.members = partition_->sectors[k].sensors;
+      std::vector<std::vector<NodeId>> candidates;
+      for (NodeId s : sp.members) {
+        auto path = partition_->tree_path(s, topo_->head());
+        sp.data_path[s] = path;
+        candidates.push_back(std::move(path));
+      }
+      const AckPlan ack = plan_ack_cover(sp.members, candidates);
+      MHP_ENSURE(ack.covers_all, "ack cover incomplete for sector");
+      sp.ack_paths = ack.poll_paths;
+      for (NodeId s : sp.members) sector_of[s] = static_cast<int>(k);
+      sector_plans.push_back(std::move(sp));
+    }
+  } else {
+    SectorPlan sp;
+    sp.members.resize(n);
+    for (NodeId s = 0; s < n; ++s) sp.members[s] = s;
+    std::vector<std::vector<NodeId>> candidates;
+    for (NodeId s = 0; s < n; ++s) {
+      auto path = plan_->path_for_cycle(s, 0).hops;
+      sp.data_path[s] = path;
+      candidates.push_back(std::move(path));
+    }
+    const AckPlan ack = plan_ack_cover(sp.members, candidates);
+    MHP_ENSURE(ack.covers_all, "ack cover incomplete");
+    sp.ack_paths = ack.poll_paths;
+    sector_plans.push_back(std::move(sp));
+  }
+
+  // §V-E: probe the interference pattern over the transmissions the plans
+  // actually use.  With rotation every unit path may be used, so the
+  // probe universe covers them all.
+  const bool rotate = cfg_.rotate_paths && !cfg_.use_sectors;
+  std::vector<std::vector<NodeId>> all_paths;
+  for (const auto& sp : sector_plans) {
+    for (const auto& [s, path] : sp.data_path) all_paths.push_back(path);
+    for (const auto& path : sp.ack_paths) all_paths.push_back(path);
+  }
+  if (rotate)
+    for (NodeId s = 0; s < n; ++s)
+      for (const auto& p : plan_->paths(s)) all_paths.push_back(p.hops);
+  oracle_ = std::make_unique<MeasuredOracle>(
+      *truth_, transmissions_of_paths(all_paths), cfg_.oracle_order);
+
+  Rng root(cfg_.seed);
+  if (rotate) {
+    provider_ = std::make_unique<RotatingProvider>(*topo_, *plan_);
+    head_ = std::make_unique<HeadAgent>(topo_->head(), sim_, *channel_,
+                                        uids_, cfg_, *oracle_, *provider_,
+                                        root.split(0), &trace_);
+  } else {
+    head_ = std::make_unique<HeadAgent>(topo_->head(), sim_, *channel_,
+                                        uids_, cfg_, *oracle_,
+                                        std::move(sector_plans),
+                                        root.split(0), &trace_);
+  }
+  sensors_.reserve(n);
+  for (NodeId s = 0; s < n; ++s) {
+    auto agent = std::make_unique<SensorAgent>(s, sim_, *channel_, uids_,
+                                               cfg_, root.split(s + 1));
+    agent->set_sector(sector_of[s]);
+    agent->set_head(topo_->head());
+    agent->start_sampling(rates_[s]);
+    sensors_.push_back(std::move(agent));
+  }
+  head_->start(Time::ms(10));
+}
+
+SimulationReport PollingSimulation::run(Time duration, Time warmup) {
+  MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
+  sim_.run_until(warmup);
+  head_->reset_stats(sim_.now());
+  for (auto& s : sensors_) s->reset_stats(sim_.now());
+
+  sim_.run_until(duration);
+
+  const Time measured = duration - warmup;
+  SimulationReport rep;
+  rep.measured_seconds = measured.to_seconds();
+  rep.sectors = partition_ ? partition_->sectors.size() : 1;
+
+  std::uint64_t generated = 0;
+  std::uint64_t overflow = 0;
+  double active_sum = 0.0, power_sum = 0.0;
+  for (auto& s : sensors_) {
+    s->settle(sim_.now());
+    generated += s->packets_generated();
+    overflow += s->packets_dropped_overflow();
+    const double active = s->meter().active_fraction();
+    const double power = s->meter().average_power_w();
+    active_sum += active;
+    power_sum += power;
+    rep.max_active_fraction = std::max(rep.max_active_fraction, active);
+    rep.max_sensor_power_w = std::max(rep.max_sensor_power_w, power);
+  }
+  const auto n = static_cast<double>(sensors_.size());
+  rep.mean_active_fraction = active_sum / n;
+  rep.mean_sensor_power_w = power_sum / n;
+
+  rep.packets_generated = generated;
+  rep.packets_delivered = head_->packets_received();
+  rep.packets_lost =
+      head_->packets_lost_abort() + head_->packets_lost_retry() + overflow;
+  rep.offered_bps = static_cast<double>(generated * cfg_.data_bytes) /
+                    rep.measured_seconds;
+  rep.throughput_bps = static_cast<double>(head_->bytes_received()) /
+                       rep.measured_seconds;
+  rep.delivery_ratio =
+      generated == 0 ? 1.0
+                     : static_cast<double>(rep.packets_delivered) /
+                           static_cast<double>(generated);
+  rep.mean_latency_s =
+      head_->latency_s().empty() ? 0.0 : head_->latency_s().mean();
+  rep.mean_duty_seconds =
+      head_->duty_time_s().empty() ? 0.0 : head_->duty_time_s().mean();
+  return rep;
+}
+
+}  // namespace mhp

@@ -1,0 +1,63 @@
+// Wire messages of the in-cluster polling protocol (§II, §V).
+//
+// These travel as std::any payloads on link-layer frames.  Sizes are
+// configured in ProtocolConfig; the content here is what the simulation
+// logic needs, not a bit-exact encoding.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace mhp {
+
+/// One entry of a polling message: `from` transmits the packet of
+/// `request` to `to` in this slot.
+struct PollAssignment {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint32_t request = 0;
+  bool is_ack = false;   // ack-collection phase vs data phase
+  bool is_origin = false;  // hop 0: sender transmits its own packet
+};
+
+/// Head → cluster: a duty cycle (for one sector) begins.
+struct WakeupMsg {
+  std::uint64_t cycle = 0;
+  int sector = 0;
+};
+
+/// Head → cluster: slot assignments (the "clock" of the pipeline).
+struct PollMsg {
+  std::uint64_t cycle = 0;
+  std::uint32_t slot = 0;
+  std::vector<PollAssignment> assignments;
+};
+
+/// Head → cluster: sector is drained; sleep until your next wake time.
+struct SleepMsg {
+  std::uint64_t cycle = 0;
+  int sector = 0;
+  Time next_wakeup;
+};
+
+using ControlPayload = std::variant<WakeupMsg, PollMsg, SleepMsg>;
+
+/// Sensor → head (relayed, aggregated): per-sensor backlog reports.
+struct AckPayload {
+  std::uint32_t request = 0;
+  std::vector<std::pair<NodeId, std::uint32_t>> backlog;
+};
+
+/// A sensor data packet in flight.
+struct DataPayload {
+  std::uint32_t request = 0;
+  NodeId origin = kNoNode;
+  std::uint64_t seq = 0;        // origin-local sequence number
+  Time generated_at;            // for latency accounting
+};
+
+}  // namespace mhp

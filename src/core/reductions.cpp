@@ -1,0 +1,232 @@
+#include "core/reductions.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/optimal_scheduler.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+Tx TsrfInstance::uplink(std::size_t branch) const {
+  return Tx{second_level(branch), first_level(branch)};
+}
+
+Tx TsrfInstance::relay(std::size_t branch) const {
+  return Tx{first_level(branch), head()};
+}
+
+ClusterTopology TsrfInstance::topology() const {
+  Graph g(num_sensors());
+  std::vector<bool> head_hears(num_sensors(), false);
+  for (std::size_t b = 0; b < branches; ++b) {
+    g.add_edge(first_level(b), second_level(b));
+    head_hears[first_level(b)] = true;
+  }
+  return ClusterTopology(std::move(g), std::move(head_hears));
+}
+
+std::vector<PollingRequest> TsrfInstance::requests() const {
+  std::vector<PollingRequest> out;
+  out.reserve(branches);
+  for (std::size_t b = 0; b < branches; ++b) {
+    PollingRequest r;
+    r.id = static_cast<RequestId>(b);
+    r.path = {second_level(b), first_level(b), head()};
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TsrfReduction::TsrfReduction(const Graph& g) : oracle(2) {
+  instance.branches = g.size();
+  for (NodeId i = 0; i < g.size(); ++i) {
+    for (NodeId j : g.neighbors(i)) {
+      // Edge (vi, vj): branch i's uplink may overlap branch j's relay and
+      // vice versa — the back-to-back hand-off of Lemma 1.
+      oracle.allow_pair(instance.uplink(i), instance.relay(j));
+      oracle.allow_pair(instance.uplink(j), instance.relay(i));
+    }
+  }
+}
+
+std::optional<std::vector<NodeId>> path_from_schedule(
+    const TsrfInstance& inst, const Schedule& schedule) {
+  // Record the slot in which each branch's relay (s_i → head) runs.
+  std::vector<std::pair<std::size_t, NodeId>> relay_slots;
+  for (std::size_t t = 0; t < schedule.slots.size(); ++t)
+    for (const auto& s : schedule.slots[t])
+      if (s.tx.to == inst.head())
+        relay_slots.push_back({t, static_cast<NodeId>(s.tx.from / 2)});
+  if (relay_slots.size() != inst.branches) return std::nullopt;
+  std::sort(relay_slots.begin(), relay_slots.end());
+  std::vector<NodeId> order;
+  order.reserve(inst.branches);
+  for (const auto& [slot, branch] : relay_slots) order.push_back(branch);
+  return order;
+}
+
+std::optional<std::vector<NodeId>> hamiltonian_path_via_tsrfp(const Graph& g) {
+  if (g.size() == 0) return std::vector<NodeId>{};
+  if (g.size() == 1) return std::vector<NodeId>{0};
+  TsrfReduction red(g);
+  const auto requests = red.instance.requests();
+  OptimalScheduler solver(red.oracle);
+  // Lemma 1: schedule of length k+1 exists iff G has a Hamiltonian path.
+  auto result = solver.solve(requests, g.size() + 1);
+  if (!result || result->slots > g.size() + 1) return std::nullopt;
+  auto order = path_from_schedule(red.instance, result->schedule);
+  MHP_ENSURE(order.has_value(), "tight schedule without full relay order");
+  // Sanity: consecutive branches must be adjacent in G.
+  for (std::size_t i = 0; i + 1 < order->size(); ++i)
+    MHP_ENSURE(g.has_edge((*order)[i], (*order)[i + 1]),
+               "schedule order is not a path in G");
+  return order;
+}
+
+bool has_hamiltonian_path(const Graph& g) {
+  const std::size_t n = g.size();
+  if (n <= 1) return true;
+  MHP_REQUIRE(n <= 20, "exponential check capped at 20 vertices");
+  // dp[mask][v]: a path visiting exactly `mask` ends at v.
+  std::vector<std::vector<char>> dp(1u << n, std::vector<char>(n, 0));
+  for (std::size_t v = 0; v < n; ++v) dp[1u << v][v] = 1;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!dp[mask][v]) continue;
+      for (NodeId w : g.neighbors(static_cast<NodeId>(v))) {
+        if (mask & (1u << w)) continue;
+        dp[mask | (1u << w)][w] = 1;
+      }
+    }
+  }
+  const std::uint32_t full = (1u << n) - 1;
+  return std::any_of(dp[full].begin(), dp[full].end(),
+                     [](char c) { return c != 0; });
+}
+
+std::vector<PollingRequest> X1mhpInstance::requests() const {
+  std::vector<PollingRequest> out;
+  RequestId id = 0;
+  for (const auto& b : layout) {
+    // Every sensor has exactly one packet (the X1MHP condition).
+    out.push_back({id++, {b.s, head}});
+    out.push_back({id++, {b.s_prime, b.s, head}});
+    out.push_back({id++, {b.u, head}});
+    out.push_back({id++, {b.u_prime, b.u, head}});
+    out.push_back({id++, {b.u_dprime, b.u_prime, b.u, head}});
+    out.push_back({id++, {b.u_tprime, b.u_dprime, b.u_prime, b.u, head}});
+  }
+  return out;
+}
+
+X1mhpReduction::X1mhpReduction(const TsrfReduction& base) : oracle(2) {
+  const std::size_t k = base.instance.branches;
+  instance.branches = k;
+  NodeId next = 0;
+  instance.layout.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    X1mhpInstance::Branch br;
+    br.s = next++;
+    br.s_prime = next++;
+    br.u = next++;
+    br.u_prime = next++;
+    br.u_dprime = next++;
+    br.u_tprime = next++;
+    instance.layout.push_back(br);
+  }
+  instance.head = next;
+
+  // Carry over the TSRF interference pattern between main branches.
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const Tx up_i{instance.layout[i].s_prime, instance.layout[i].s};
+      const Tx rel_j{instance.layout[j].s, instance.head};
+      // uplink(i) ∥ relay(j) compatible iff it was in the base oracle.
+      if (base.oracle.compatible(
+              std::vector<Tx>{base.instance.uplink(i),
+                              base.instance.relay(j)}))
+        oracle.allow_pair(up_i, rel_j);
+    }
+  }
+
+  // Within each branch, the hand-offs that let the auxiliary chain pair up
+  // with the main branch (Theorem 3's construction; see DESIGN.md for the
+  // disambiguation of the garbled source):
+  //   u'' → u'  compatible with  s' → s
+  //   u'  → u   compatible with  s  → head
+  // Everything else involving auxiliary sensors stays incompatible.
+  for (const auto& b : instance.layout) {
+    oracle.allow_pair(Tx{b.u_dprime, b.u_prime}, Tx{b.s_prime, b.s});
+    oracle.allow_pair(Tx{b.u_prime, b.u}, Tx{b.s, instance.head});
+  }
+}
+
+namespace {
+
+ClusterTopology build_cpar_topology(const std::vector<std::int64_t>& ints,
+                                    std::vector<int>& chain_of) {
+  for (auto a : ints) MHP_REQUIRE(a >= 1, "Partition integers must be >= 1");
+  // Sensors: gateway1 = 0, gateway2 = 1, then one chain per integer.
+  std::size_t n = 2;
+  for (auto a : ints) n += static_cast<std::size_t>(a);
+  Graph g(n);
+  std::vector<bool> head_hears(n, false);
+  head_hears[0] = head_hears[1] = true;
+  chain_of.assign(n, -1);
+
+  NodeId next = 2;
+  for (std::size_t i = 0; i < ints.size(); ++i) {
+    const auto len = static_cast<std::size_t>(ints[i]);
+    // Chain head connects to *both* gateways (the partition choice).
+    g.add_edge(next, 0);
+    g.add_edge(next, 1);
+    for (std::size_t j = 0; j < len; ++j) {
+      chain_of[next] = static_cast<int>(i);
+      if (j + 1 < len) g.add_edge(next, next + 1);
+      ++next;
+    }
+  }
+  MHP_ENSURE(next == n, "chain layout mismatch");
+  return ClusterTopology(std::move(g), std::move(head_hears));
+}
+
+}  // namespace
+
+CparInstance::CparInstance(std::vector<std::int64_t> ints)
+    : integers(std::move(ints)),
+      topology(build_cpar_topology(integers, chain_of)) {}
+
+std::optional<std::vector<std::size_t>> partition_via_cpar(
+    const CparInstance& inst) {
+  const std::size_t m = inst.integers.size();
+  MHP_REQUIRE(m <= 24, "exponential search capped at 24 integers");
+  const std::int64_t total =
+      std::accumulate(inst.integers.begin(), inst.integers.end(),
+                      std::int64_t{0});
+  if (total % 2 != 0) return std::nullopt;
+
+  // Pseudo power consumption rate of a gateway with assigned sum A (all
+  // sensors generate one packet; α = β = 1):
+  //   load = 1 + A (own packet plus every dependent's), sector size
+  //   n' = 1 + A, so ρ' = (1 + A) + (1 + A) = 2(1 + A).
+  // The CPAR bound B = 2(1 + total/2) is met iff both sectors balance.
+  const std::int64_t bound = 2 * (1 + total / 2);
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::int64_t a = 0;
+    for (std::size_t i = 0; i < m; ++i)
+      if (mask & (1u << i)) a += inst.integers[i];
+    const std::int64_t rho1 = 2 * (1 + a);
+    const std::int64_t rho2 = 2 * (1 + (total - a));
+    if (std::max(rho1, rho2) <= bound) {
+      std::vector<std::size_t> chosen;
+      for (std::size_t i = 0; i < m; ++i)
+        if (mask & (1u << i)) chosen.push_back(i);
+      return chosen;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mhp

@@ -1,0 +1,119 @@
+// Executable versions of the paper's NP-hardness constructions (§III-C,
+// §IV-A).  These are not needed to *run* the system — they demonstrate and
+// test the reductions:
+//
+//  * TSRF ("two-level star with relaying only in the first level"):
+//    k branches s'ᵢ → sᵢ → head, one packet per second-level sensor.
+//  * Hamiltonian Path ⇒ TSRFP: graph G on k vertices becomes a TSRF whose
+//    interference pattern mirrors G's edges; a 2k-slot schedule exists iff
+//    G has a Hamiltonian path (Lemma 1).
+//  * X1MHP: auxiliary branches force every sensor to hold exactly one
+//    packet while preserving hardness (Theorem 3).
+//  * CPAR ⇔ Partition: a two-gateway cluster whose balanced sector split
+//    solves the Partition instance (Theorem 5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/schedule.hpp"
+#include "net/cluster.hpp"
+#include "net/graph.hpp"
+
+namespace mhp {
+
+/// A TSRF instance: branch i is second-level sensor 2i+1 relaying through
+/// first-level sensor 2i to the head (node 2k).
+struct TsrfInstance {
+  std::size_t branches = 0;
+
+  std::size_t num_sensors() const { return 2 * branches; }
+  NodeId head() const { return static_cast<NodeId>(num_sensors()); }
+  NodeId first_level(std::size_t branch) const {
+    return static_cast<NodeId>(2 * branch);
+  }
+  NodeId second_level(std::size_t branch) const {
+    return static_cast<NodeId>(2 * branch + 1);
+  }
+
+  /// The transmission s'ᵢ → sᵢ (second-level uplink of branch i).
+  Tx uplink(std::size_t branch) const;
+  /// The transmission sᵢ → head (first-level relay of branch i).
+  Tx relay(std::size_t branch) const;
+
+  ClusterTopology topology() const;
+
+  /// One polling request per branch: the second-level packet.
+  std::vector<PollingRequest> requests() const;
+};
+
+/// The reduction of Lemma 1: interference pattern from graph `g`.
+/// Transmissions uplink(i) ∥ relay(j) are compatible iff (vᵢ, vⱼ) ∈ E(G).
+struct TsrfReduction {
+  TsrfInstance instance;
+  ExplicitOracle oracle;  // order 2
+
+  explicit TsrfReduction(const Graph& g);
+};
+
+/// Decide Hamiltonian Path on `g` by asking whether the reduced TSRFP
+/// instance schedules in 2k slots; returns the vertex order when yes.
+/// Exponential (runs the exact scheduler) — small graphs only.
+std::optional<std::vector<NodeId>> hamiltonian_path_via_tsrfp(const Graph& g);
+
+/// Extract the Hamiltonian path implied by a back-to-back TSRF schedule
+/// (the order in which branch relays reach the head).
+std::optional<std::vector<NodeId>> path_from_schedule(
+    const TsrfInstance& inst, const Schedule& schedule);
+
+/// Direct exponential Hamiltonian-path check (oracle for the tests).
+bool has_hamiltonian_path(const Graph& g);
+
+/// The X1MHP construction of Theorem 3: each TSRF branch gains an
+/// auxiliary chain so that every sensor has exactly one packet to send.
+struct X1mhpInstance {
+  std::size_t branches = 0;
+  /// Per-branch node ids: main branch (s, s') plus auxiliaries
+  /// (u, u', u'', u''').  Head is the last id.
+  struct Branch {
+    NodeId s, s_prime;
+    NodeId u, u_prime, u_dprime, u_tprime;
+  };
+  std::vector<Branch> layout;
+  NodeId head = kNoNode;
+
+  std::vector<PollingRequest> requests() const;
+};
+
+/// Build the X1MHP instance and its oracle from a TSRF reduction.
+struct X1mhpReduction {
+  X1mhpInstance instance;
+  ExplicitOracle oracle;  // order 2
+
+  explicit X1mhpReduction(const TsrfReduction& base);
+};
+
+/// CPAR ⇔ Partition (Theorem 5): integers a₁..aₘ become chains hanging
+/// off two gateway sensors S₁, S₂.
+struct CparInstance {
+  std::vector<std::int64_t> integers;
+  NodeId gateway1 = 0, gateway2 = 1;
+  /// chain_of[s]: which integer's chain sensor s belongs to (or -1 for
+  /// the gateways).
+  std::vector<int> chain_of;
+  /// NOTE: declared after chain_of — construction fills chain_of while
+  /// building the topology.
+  ClusterTopology topology;
+
+  explicit CparInstance(std::vector<std::int64_t> integers);
+};
+
+/// Solve the Partition instance via sector partitioning of the CPAR
+/// cluster: returns the indices of integers assigned to gateway-1's
+/// sector, or nullopt when no equal partition exists.  Exponential.
+std::optional<std::vector<std::size_t>> partition_via_cpar(
+    const CparInstance& inst);
+
+}  // namespace mhp

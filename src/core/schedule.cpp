@@ -1,0 +1,105 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+std::size_t Schedule::total_transmissions() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots) n += slot.size();
+  return n;
+}
+
+std::size_t Schedule::peak_concurrency() const {
+  std::size_t peak = 0;
+  for (const auto& slot : slots) peak = std::max(peak, slot.size());
+  return peak;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    os << "slot " << t << ":";
+    for (const auto& s : slots[t])
+      os << "  r" << s.request << "[" << s.tx.from << "->" << s.tx.to << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+ValidationResult validate_schedule(std::span<const PollingRequest> requests,
+                                   const Schedule& schedule,
+                                   const CompatibilityOracle& oracle) {
+  std::map<RequestId, const PollingRequest*> by_id;
+  for (const auto& r : requests) {
+    MHP_REQUIRE(r.path.size() >= 2, "request path needs >= 1 hop");
+    by_id[r.id] = &r;
+  }
+
+  // Collect each request's (slot, hop) placements.
+  std::map<RequestId, std::vector<std::pair<std::size_t, std::size_t>>> seen;
+  for (std::size_t t = 0; t < schedule.slots.size(); ++t) {
+    for (const auto& s : schedule.slots[t]) {
+      auto it = by_id.find(s.request);
+      if (it == by_id.end())
+        return ValidationResult::failure("unknown request in schedule");
+      const PollingRequest& r = *it->second;
+      if (s.hop >= r.hop_count())
+        return ValidationResult::failure("hop index out of range");
+      if (!(s.tx == r.hop(s.hop)))
+        return ValidationResult::failure("transmission mismatches path hop");
+      seen[s.request].push_back({t, s.hop});
+    }
+  }
+
+  for (const auto& r : requests) {
+    auto it = seen.find(r.id);
+    if (it == seen.end())
+      return ValidationResult::failure("request never scheduled");
+    auto& placements = it->second;
+    std::sort(placements.begin(), placements.end());
+    if (placements.size() != r.hop_count())
+      return ValidationResult::failure(
+          "request scheduled with wrong number of hops");
+    for (std::size_t j = 0; j < placements.size(); ++j) {
+      if (placements[j].second != j)
+        return ValidationResult::failure("request hops out of order");
+      if (j > 0 && placements[j].first != placements[j - 1].first + 1)
+        return ValidationResult::failure(
+            "request hops not in consecutive slots (packet delayed)");
+    }
+  }
+
+  for (std::size_t t = 0; t < schedule.slots.size(); ++t) {
+    std::vector<Tx> group;
+    group.reserve(schedule.slots[t].size());
+    for (const auto& s : schedule.slots[t]) group.push_back(s.tx);
+    if (!oracle.compatible(group)) {
+      std::ostringstream os;
+      os << "slot " << t << " group incompatible";
+      return ValidationResult::failure(os.str());
+    }
+  }
+  return ValidationResult{};
+}
+
+std::size_t schedule_lower_bound(std::span<const PollingRequest> requests,
+                                 int order) {
+  MHP_REQUIRE(order >= 1, "order must be >= 1");
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const auto& r : requests) {
+    total += r.hop_count();
+    longest = std::max(longest, r.hop_count());
+  }
+  const std::size_t by_capacity =
+      (total + static_cast<std::size_t>(order) - 1) /
+      static_cast<std::size_t>(order);
+  return std::max(longest, by_capacity);
+}
+
+}  // namespace mhp

@@ -1,0 +1,76 @@
+// Polling requests and schedules.
+//
+// A polling request is one data packet to be collected: its relaying path
+// runs from the originating sensor to the cluster head.  A schedule maps
+// time slots to the transmissions running in them.  Packets are never
+// delayed (§III-C.2 shows delaying buys nothing): a request started in
+// slot t performs hop j in slot t + j.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "net/ids.hpp"
+
+namespace mhp {
+
+using RequestId = std::uint32_t;
+
+struct PollingRequest {
+  RequestId id = 0;
+  /// path[0] = originating sensor, path.back() = cluster head.
+  std::vector<NodeId> path;
+
+  std::size_t hop_count() const { return path.size() - 1; }
+  Tx hop(std::size_t j) const { return Tx{path[j], path[j + 1]}; }
+};
+
+struct ScheduledTx {
+  Tx tx;
+  RequestId request = 0;
+  std::size_t hop = 0;  // which hop of the request's path this is
+
+  friend bool operator==(const ScheduledTx&, const ScheduledTx&) = default;
+};
+
+struct Schedule {
+  /// slots[t] = transmissions running in slot t.
+  std::vector<std::vector<ScheduledTx>> slots;
+
+  std::size_t length() const { return slots.size(); }
+  std::size_t total_transmissions() const;
+
+  /// Max concurrent transmissions in any slot.
+  std::size_t peak_concurrency() const;
+
+  std::string to_string() const;
+};
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;
+
+  static ValidationResult failure(std::string msg) {
+    return ValidationResult{false, std::move(msg)};
+  }
+};
+
+/// Check that `schedule` delivers every request exactly once: consecutive
+/// hops, correct hop transmissions, per-slot groups compatible under
+/// `oracle` (which also enforces group size <= oracle order, half-duplex
+/// and receiver uniqueness).
+ValidationResult validate_schedule(std::span<const PollingRequest> requests,
+                                   const Schedule& schedule,
+                                   const CompatibilityOracle& oracle);
+
+/// Lower bound on any schedule's length: every request needs at least
+/// hop_count slots, and slot concurrency is capped by the oracle order.
+std::size_t schedule_lower_bound(std::span<const PollingRequest> requests,
+                                 int order);
+
+}  // namespace mhp

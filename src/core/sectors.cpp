@@ -1,0 +1,268 @@
+#include "core/sectors.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+std::vector<NodeId> SectorPartition::tree_path(NodeId s, NodeId head) const {
+  std::vector<NodeId> path{s};
+  NodeId v = s;
+  while (v != head) {
+    v = parent.at(v);
+    path.push_back(v);
+  }
+  return path;
+}
+
+void SectorPartitioner::merge_to_tree(
+    const RelayPlan& plan, const std::vector<std::int64_t>& demand,
+    std::vector<NodeId>& parent, std::vector<std::int64_t>& tree_load) const {
+  const std::size_t n = topo_.num_sensors();
+  const NodeId head = topo_.head();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+
+  // Candidate next hops of each sensor: every successor it uses in any
+  // unit path (its own or one it relays).
+  std::vector<std::set<NodeId>> candidates(n);
+  for (NodeId o = 0; o < n; ++o) {
+    for (const auto& p : plan.paths(o)) {
+      for (std::size_t i = 0; i + 1 < p.hops.size(); ++i)
+        candidates[p.hops[i]].insert(p.hops[i + 1]);
+    }
+  }
+  // Sensors untouched by any path (zero demand, never relaying) still need
+  // a tree position: any neighbor one level closer, or the head.
+  for (NodeId s = 0; s < n; ++s) {
+    if (!candidates[s].empty()) continue;
+    if (topo_.head_hears(s)) {
+      candidates[s].insert(head);
+      continue;
+    }
+    for (NodeId nb : topo_.sensor_links().neighbors(s))
+      if (topo_.level(nb) + 1 == topo_.level(s)) candidates[s].insert(nb);
+    MHP_REQUIRE(!candidates[s].empty(),
+                "sensor unreachable from head; cluster not connected");
+  }
+
+  // Process sensors by level ascending ("start flow merging at flow
+  // splitting sensors closest to the cluster head"): when sensor s picks
+  // a parent, that parent's own tree path is already fixed.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (topo_.level(a) != topo_.level(b))
+      return topo_.level(a) < topo_.level(b);
+    return a < b;
+  });
+
+  parent.assign(n, kNoNode);
+  // Provisional load estimate while choosing parents: the plan's loads.
+  const std::vector<std::int64_t>& est = plan.loads();
+
+  // Max estimated load along the fixed parent chain from `from` to the
+  // head; nullopt when the chain is incomplete or would pass through
+  // `avoid` (which would create a cycle once `avoid` adopts `from`).
+  auto max_load_to_head = [&](NodeId from,
+                              NodeId avoid) -> std::optional<std::int64_t> {
+    std::int64_t m = 0;
+    NodeId v = from;
+    std::size_t steps = 0;
+    while (v != head) {
+      if (v == avoid || ++steps > n) return std::nullopt;
+      m = std::max(m, est[v]);
+      const NodeId p = parent[v];
+      if (p == kNoNode) return std::nullopt;  // chain not yet fixed
+      v = p;
+    }
+    return m;
+  };
+
+  for (NodeId s : order) {
+    const auto& cand = candidates[s];
+    MHP_ENSURE(!cand.empty(), "no parent candidate");
+    NodeId best = kNoNode;
+    std::int64_t best_metric = 0;
+    for (NodeId c : cand) {
+      if (c == head) {
+        best = head;
+        break;  // direct uplink always wins
+      }
+      const auto metric = max_load_to_head(c, s);
+      if (!metric) continue;  // chain unfixed or cyclic — unusable
+      if (best == kNoNode || *metric < best_metric) {
+        best = c;
+        best_metric = *metric;
+      }
+    }
+    if (best == kNoNode) {
+      // All candidates unprocessed (same-level chain): fall back to any
+      // neighbor one level closer.
+      for (NodeId nb : topo_.sensor_links().neighbors(s)) {
+        if (topo_.level(nb) + 1 == topo_.level(s)) {
+          best = nb;
+          break;
+        }
+      }
+      if (best == kNoNode && topo_.head_hears(s)) best = head;
+    }
+    MHP_ENSURE(best != kNoNode, "flow merging failed to pick a parent");
+    parent[s] = best;
+  }
+
+  // Tree loads: demand flows up the tree.  Process by tree depth,
+  // deepest first.
+  tree_load.assign(n, 0);
+  auto depth = [&](NodeId s) {
+    std::size_t d = 0;
+    for (NodeId v = s; v != head; v = parent[v]) ++d;
+    return d;
+  };
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return depth(a) > depth(b);
+  });
+  for (NodeId s : order) {
+    tree_load[s] += demand[s];
+    if (parent[s] != head) tree_load[parent[s]] += tree_load[s];
+  }
+}
+
+namespace {
+
+/// Branch b = gateway + all its tree descendants.
+struct Branch {
+  NodeId gateway;
+  std::vector<NodeId> sensors;  // includes the gateway
+  std::int64_t gateway_load = 0;
+};
+
+}  // namespace
+
+SectorPartition SectorPartitioner::partition(
+    const RelayPlan& plan, const std::vector<std::int64_t>& demand,
+    const CompatibilityOracle* oracle) const {
+  const std::size_t n = topo_.num_sensors();
+  const NodeId head = topo_.head();
+
+  SectorPartition out;
+  merge_to_tree(plan, demand, out.parent, out.tree_load);
+
+  // Collect first-level branches.
+  std::vector<Branch> branches;
+  std::map<NodeId, std::size_t> branch_of_gateway;
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.parent[s] == head) {
+      branch_of_gateway[s] = branches.size();
+      branches.push_back(Branch{s, {s}, out.tree_load[s]});
+    }
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    if (out.parent[s] == head) continue;
+    NodeId v = s;
+    while (out.parent[v] != head) v = out.parent[v];
+    branches[branch_of_gateway[v]].sensors.push_back(s);
+  }
+
+  // Pairing.  Sort by size descending; repeatedly take the largest
+  // unpaired branch and the *smallest* compatible partner (rule ii).
+  std::vector<std::size_t> order(branches.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return branches[a].sensors.size() > branches[b].sensors.size();
+  });
+
+  auto linked = [&](const Branch& a, const Branch& b) {
+    // Rule (i): some sensor of a hears some sensor of b.
+    for (NodeId x : a.sensors)
+      for (NodeId y : b.sensors)
+        if (topo_.sensors_linked(x, y)) return true;
+    return false;
+  };
+  auto can_alternate = [&](const Branch& a, const Branch& b) {
+    if (oracle == nullptr) return true;  // rule (iii) needs measurements
+    // While gateway A sends to the head, gateway B should be able to
+    // receive from one of its children, and vice versa.
+    auto one_way = [&](const Branch& tx, const Branch& rx) {
+      const Tx up{tx.gateway, head};
+      for (NodeId c : rx.sensors) {
+        if (c == rx.gateway) continue;
+        if (out.parent[c] == rx.gateway &&
+            oracle->compatible(std::vector<Tx>{up, Tx{c, rx.gateway}}))
+          return true;
+      }
+      // A leaf-only branch has nothing to receive; that is fine.
+      return rx.sensors.size() == 1;
+    };
+    return one_way(a, b) && one_way(b, a);
+  };
+
+  std::vector<bool> used(branches.size(), false);
+  out.sectors.clear();
+  for (std::size_t oi = 0; oi < order.size(); ++oi) {
+    const std::size_t i = order[oi];
+    if (used[i]) continue;
+    used[i] = true;
+    Sector sec;
+    sec.gateways = {branches[i].gateway};
+    sec.sensors = branches[i].sensors;
+    if (params_.max_branches_per_sector >= 2) {
+      // Smallest compatible partner: scan from the tail of the order.
+      for (std::size_t oj = order.size(); oj-- > oi + 1;) {
+        const std::size_t j = order[oj];
+        if (used[j]) continue;
+        if (!linked(branches[i], branches[j])) continue;
+        if (!can_alternate(branches[i], branches[j])) continue;
+        used[j] = true;
+        sec.gateways.push_back(branches[j].gateway);
+        sec.sensors.insert(sec.sensors.end(), branches[j].sensors.begin(),
+                           branches[j].sensors.end());
+        break;
+      }
+    }
+    std::sort(sec.sensors.begin(), sec.sensors.end());
+    out.sectors.push_back(std::move(sec));
+  }
+
+  out.sector_of.assign(n, -1);
+  for (std::size_t k = 0; k < out.sectors.size(); ++k)
+    for (NodeId s : out.sectors[k].sensors)
+      out.sector_of[s] = static_cast<int>(k);
+  for (NodeId s = 0; s < n; ++s)
+    MHP_ENSURE(out.sector_of[s] >= 0, "sensor not covered by any sector");
+  return out;
+}
+
+SectorPartition SectorPartitioner::single_sector(
+    const RelayPlan& plan, const std::vector<std::int64_t>& demand) const {
+  const std::size_t n = topo_.num_sensors();
+  SectorPartition out;
+  merge_to_tree(plan, demand, out.parent, out.tree_load);
+  Sector sec;
+  sec.sensors.resize(n);
+  std::iota(sec.sensors.begin(), sec.sensors.end(), 0);
+  for (NodeId s = 0; s < n; ++s)
+    if (out.parent[s] == topo_.head()) sec.gateways.push_back(s);
+  out.sectors.push_back(std::move(sec));
+  out.sector_of.assign(n, 0);
+  return out;
+}
+
+double SectorPartitioner::max_pseudo_rate(const SectorPartition& p) const {
+  double worst = 0.0;
+  for (const auto& sec : p.sectors) {
+    for (NodeId s : sec.sensors) {
+      const double rate =
+          params_.alpha * static_cast<double>(p.tree_load[s]) +
+          params_.beta * static_cast<double>(sec.sensors.size());
+      worst = std::max(worst, rate);
+    }
+  }
+  return worst;
+}
+
+}  // namespace mhp

@@ -1,0 +1,87 @@
+// Dividing a cluster into sectors (§IV).
+//
+// Sectors wake and drain in turn, so a sensor is awake only while its own
+// sector is polled — the main lever for cutting idle-listening time.  The
+// optimal partition is NP-complete (CPAR, Theorem 5); this is the paper's
+// heuristic (§IV-B):
+//
+//  1. *Flow merging*: turn the union of relaying paths into a tree.  Flow
+//     splitting sensors (more than one next hop) pick the parent whose
+//     path to the head has the smallest maximum load, processed closest
+//     to the head first.
+//  2. Each first-level branch of the tree is a candidate sector.
+//  3. Branches are paired under the paper's three rules: (i) the two
+//     branches are linked so traffic can be redirected toward the
+//     less-loaded gateway, (ii) big branches pair with small ones,
+//     (iii) the two gateways can alternate head transmissions (checked
+//     against the compatibility oracle when one is supplied).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/interference.hpp"
+#include "core/routing.hpp"
+#include "net/cluster.hpp"
+#include "net/ids.hpp"
+
+namespace mhp {
+
+struct Sector {
+  std::vector<NodeId> sensors;      // every sensor in the sector
+  std::vector<NodeId> gateways;     // its first-level sensors (1 or 2)
+};
+
+struct SectorPartition {
+  std::vector<Sector> sectors;
+  std::vector<int> sector_of;    // per sensor
+  std::vector<NodeId> parent;    // relay tree (parent of gateways = head)
+  std::vector<std::int64_t> tree_load;  // per-sensor load on the tree
+
+  std::size_t size() const { return sectors.size(); }
+
+  /// Relaying path of sensor s induced by the tree.
+  std::vector<NodeId> tree_path(NodeId s, NodeId head) const;
+};
+
+struct SectorParams {
+  double alpha = 1.0;  // weight of transmission load in the power rate
+  double beta = 1.0;   // weight of awake time (∝ sector size)
+  /// Maximum branches per sector (the paper pairs at most two).
+  std::size_t max_branches_per_sector = 2;
+};
+
+class SectorPartitioner {
+ public:
+  SectorPartitioner(const ClusterTopology& topo, SectorParams params = {})
+      : topo_(topo), params_(params) {}
+
+  /// Run the heuristic.  `demand` drives tree loads; `oracle` (optional)
+  /// enables pairing rule (iii).
+  SectorPartition partition(const RelayPlan& plan,
+                            const std::vector<std::int64_t>& demand,
+                            const CompatibilityOracle* oracle = nullptr) const;
+
+  /// Trivial partition: the whole cluster as one sector (the baseline the
+  /// paper's Fig 7(c) divides against), using the same merged tree.
+  SectorPartition single_sector(const RelayPlan& plan,
+                                const std::vector<std::int64_t>& demand) const;
+
+  /// ρ' of the worst sensor: α·load + β·(sector size) — the paper's
+  /// pseudo power consumption rate (§IV-A).
+  double max_pseudo_rate(const SectorPartition& p) const;
+
+ private:
+  /// Flow merging (§IV-B): returns per-sensor tree parent (head for
+  /// first-level sensors) and the resulting tree loads.
+  void merge_to_tree(const RelayPlan& plan,
+                     const std::vector<std::int64_t>& demand,
+                     std::vector<NodeId>& parent,
+                     std::vector<std::int64_t>& tree_load) const;
+
+  const ClusterTopology& topo_;
+  SectorParams params_;
+};
+
+}  // namespace mhp

@@ -1,0 +1,102 @@
+// The basic sensor node's protocol logic (§II).
+//
+// Sensors are deliberately dumb: they sample data on their own schedule,
+// sleep whenever told to, and transmit only when a polling message names
+// them.  All coordination lives in the cluster head.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "core/protocol_config.hpp"
+#include "core/protocol_messages.hpp"
+#include "net/packet.hpp"
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+
+class SensorAgent : public ChannelListener {
+ public:
+  SensorAgent(NodeId id, Simulator& sim, Channel& channel,
+              FrameUidSource& uids, const ProtocolConfig& cfg, Rng rng);
+
+  NodeId id() const { return id_; }
+
+  /// Start periodic data generation at `rate_bytes_per_s` (0 = no data).
+  void start_sampling(double rate_bytes_per_s);
+
+  /// Which sector this sensor belongs to (0 when sectoring is off); the
+  /// head assigns it during cluster set-up and the sensor filters
+  /// wake/sleep messages by it.
+  void set_sector(int sector) { sector_ = sector; }
+  int sector() const { return sector_; }
+
+  /// Accept control messages only from this cluster head (needed when
+  /// several clusters share a radio channel, §V-G).  kNoNode = any.
+  void set_head(NodeId head) { head_ = head; }
+
+  /// Queue length the sensor would report in an ack right now.
+  std::uint32_t backlog() const;
+
+  // --- ChannelListener ---
+  void on_frame_begin(const Frame& frame, NodeId from, double rx_power_w,
+                      Time end) override;
+  void on_frame_end(const Frame& frame, NodeId from, bool phy_ok) override;
+
+  // --- accounting ---
+  const EnergyMeter& meter() const { return tracker_.meter(); }
+  /// Settle the tracker at `now` (call before reading the meter).
+  void settle(Time now) { tracker_.settle(now); }
+  /// Zero counters and energy after a warm-up period.
+  void reset_stats(Time now);
+
+  std::uint64_t packets_generated() const { return generated_; }
+  std::uint64_t packets_dropped_overflow() const { return dropped_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  bool asleep() const { return asleep_; }
+
+ private:
+  void handle_control(const ControlPayload& ctrl);
+  void handle_poll(const PollMsg& poll);
+  void transmit_data(const PollAssignment& a);
+  void transmit_ack(const PollAssignment& a);
+  void go_to_sleep(const SleepMsg& sleep);
+  void wake_up();
+  void generate_packet();
+  void send_frame(FrameKind kind, NodeId dst, std::uint32_t bytes,
+                  std::any payload);
+
+  NodeId id_;
+  Simulator& sim_;
+  Channel& channel_;
+  FrameUidSource& uids_;
+  const ProtocolConfig& cfg_;
+  Rng rng_;
+
+  RadioTracker tracker_;
+  bool asleep_ = true;
+  bool transmitting_ = false;
+  int rx_depth_ = 0;
+  Time awake_since_ = Time::zero();
+
+  std::deque<DataPayload> queue_;              // sampled, not yet polled
+  std::map<std::uint32_t, DataPayload> in_flight_;  // polled this cycle
+  std::map<std::uint32_t, DataPayload> relay_data_;
+  std::map<std::uint32_t, AckPayload> relay_ack_;
+  std::uint64_t seq_ = 0;
+
+  double rate_bytes_per_s_ = 0.0;
+  int sector_ = 0;
+  NodeId head_ = kNoNode;
+
+  std::uint64_t generated_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t frames_sent_ = 0;
+};
+
+}  // namespace mhp

@@ -1,0 +1,93 @@
+#include "core/set_cover.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+SetCoverResult greedy_set_cover(std::size_t universe,
+                                const std::vector<WeightedSubset>& subsets) {
+  for (const auto& s : subsets) {
+    MHP_REQUIRE(s.cost >= 0.0, "negative subset cost");
+    for (std::size_t e : s.elements)
+      MHP_REQUIRE(e < universe, "element out of range");
+  }
+  SetCoverResult result;
+  std::vector<bool> covered(universe, false);
+  std::size_t remaining = universe;
+  std::vector<bool> used(subsets.size(), false);
+
+  while (remaining > 0) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best = subsets.size();
+    std::size_t best_new = 0;
+    for (std::size_t i = 0; i < subsets.size(); ++i) {
+      if (used[i]) continue;
+      std::size_t fresh = 0;
+      for (std::size_t e : subsets[i].elements)
+        if (!covered[e]) ++fresh;
+      if (fresh == 0) continue;
+      // Covering cost: subset cost per newly covered element.  Zero-cost
+      // subsets are always taken first.
+      const double ratio = subsets[i].cost / static_cast<double>(fresh);
+      if (ratio < best_ratio ||
+          (ratio == best_ratio && fresh > best_new)) {
+        best_ratio = ratio;
+        best = i;
+        best_new = fresh;
+      }
+    }
+    if (best == subsets.size()) {
+      result.covered = false;  // leftovers are uncoverable
+      return result;
+    }
+    used[best] = true;
+    result.chosen.push_back(best);
+    result.total_cost += subsets[best].cost;
+    for (std::size_t e : subsets[best].elements) {
+      if (!covered[e]) {
+        covered[e] = true;
+        --remaining;
+      }
+    }
+  }
+  return result;
+}
+
+SetCoverResult exact_set_cover(std::size_t universe,
+                               const std::vector<WeightedSubset>& subsets) {
+  MHP_REQUIRE(subsets.size() <= 20, "exact cover capped at 20 subsets");
+  MHP_REQUIRE(universe <= 63, "exact cover capped at 63 elements");
+  const std::uint64_t full =
+      universe == 0 ? 0 : (~std::uint64_t{0} >> (64 - universe));
+  std::vector<std::uint64_t> mask(subsets.size(), 0);
+  for (std::size_t i = 0; i < subsets.size(); ++i)
+    for (std::size_t e : subsets[i].elements) mask[i] |= std::uint64_t{1} << e;
+
+  SetCoverResult best;
+  best.covered = false;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  const std::uint32_t combos = 1u << subsets.size();
+  for (std::uint32_t pick = 0; pick < combos; ++pick) {
+    std::uint64_t cov = 0;
+    double cost = 0.0;
+    for (std::size_t i = 0; i < subsets.size(); ++i)
+      if (pick & (1u << i)) {
+        cov |= mask[i];
+        cost += subsets[i].cost;
+      }
+    if (cov == full && cost < best.total_cost) {
+      best.covered = true;
+      best.total_cost = cost;
+      best.chosen.clear();
+      for (std::size_t i = 0; i < subsets.size(); ++i)
+        if (pick & (1u << i)) best.chosen.push_back(i);
+    }
+  }
+  if (!best.covered) best.total_cost = 0.0;
+  return best;
+}
+
+}  // namespace mhp

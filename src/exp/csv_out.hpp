@@ -1,0 +1,21 @@
+// Save a bench table as CSV next to the ASCII output, for plotting.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace mhp::exp {
+
+/// Write `table` to `path` (CSV).  Best-effort: prints a note on success
+/// and stays silent on failure (benches must run in read-only sandboxes).
+inline void save_csv(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << table.to_csv();
+  if (out.good()) std::printf("(series saved to %s)\n", path.c_str());
+}
+
+}  // namespace mhp::exp

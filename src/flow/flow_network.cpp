@@ -1,0 +1,53 @@
+#include "flow/flow_network.hpp"
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+int FlowNetwork::add_node() {
+  out_.emplace_back();
+  return num_nodes() - 1;
+}
+
+int FlowNetwork::add_nodes(int count) {
+  MHP_REQUIRE(count >= 0, "negative node count");
+  const int first = num_nodes();
+  for (int i = 0; i < count; ++i) out_.emplace_back();
+  return first;
+}
+
+int FlowNetwork::add_arc(int u, int v, Cap cap) {
+  MHP_REQUIRE(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+              "arc endpoint out of range");
+  MHP_REQUIRE(cap >= 0, "negative capacity");
+  const int e = num_arcs();
+  from_.push_back(u);
+  to_.push_back(v);
+  cap_.push_back(cap);
+  cap_init_.push_back(cap);
+  out_[u].push_back(e);
+  // Residual twin.
+  from_.push_back(v);
+  to_.push_back(u);
+  cap_.push_back(0);
+  cap_init_.push_back(0);
+  out_[v].push_back(e + 1);
+  return e;
+}
+
+void FlowNetwork::push(int e, Cap amount) {
+  MHP_REQUIRE(e >= 0 && e < num_arcs(), "arc out of range");
+  MHP_REQUIRE(amount >= 0 && amount <= cap_[e], "push exceeds residual");
+  cap_[e] -= amount;
+  cap_[e ^ 1] += amount;
+}
+
+void FlowNetwork::set_capacity_and_reset(int e, Cap cap) {
+  MHP_REQUIRE(e >= 0 && e < num_arcs() && (e % 2) == 0,
+              "capacity only settable on forward arcs");
+  MHP_REQUIRE(cap >= 0, "negative capacity");
+  cap_init_[e] = cap;
+  reset_flow();
+}
+
+}  // namespace mhp

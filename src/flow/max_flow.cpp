@@ -1,0 +1,134 @@
+#include "flow/max_flow.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+namespace {
+
+using Cap = FlowNetwork::Cap;
+
+Cap edmonds_karp(FlowNetwork& net, int s, int t) {
+  Cap total = 0;
+  const int n = net.num_nodes();
+  std::vector<int> pred_arc(n);
+  for (;;) {
+    // BFS for a shortest augmenting path in the residual graph.
+    std::fill(pred_arc.begin(), pred_arc.end(), -1);
+    std::queue<int> q;
+    q.push(s);
+    pred_arc[s] = -2;
+    bool found = false;
+    while (!q.empty() && !found) {
+      const int v = q.front();
+      q.pop();
+      for (int e : net.arcs_out(v)) {
+        const int w = net.arc_to(e);
+        if (pred_arc[w] == -1 && net.residual(e) > 0) {
+          pred_arc[w] = e;
+          if (w == t) {
+            found = true;
+            break;
+          }
+          q.push(w);
+        }
+      }
+    }
+    if (!found) return total;
+    // Bottleneck along the path.
+    Cap bottleneck = FlowNetwork::kInfinite;
+    for (int v = t; v != s;) {
+      const int e = pred_arc[v];
+      bottleneck = std::min(bottleneck, net.residual(e));
+      v = net.arc_from(e);
+    }
+    for (int v = t; v != s;) {
+      const int e = pred_arc[v];
+      net.push(e, bottleneck);
+      v = net.arc_from(e);
+    }
+    total += bottleneck;
+  }
+}
+
+class Dinic {
+ public:
+  Dinic(FlowNetwork& net, int s, int t) : net_(net), s_(s), t_(t) {}
+
+  Cap run() {
+    Cap total = 0;
+    while (bfs_levels()) {
+      iter_.assign(static_cast<std::size_t>(net_.num_nodes()), 0);
+      for (;;) {
+        const Cap pushed = dfs(s_, FlowNetwork::kInfinite);
+        if (pushed == 0) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+ private:
+  bool bfs_levels() {
+    level_.assign(static_cast<std::size_t>(net_.num_nodes()), -1);
+    std::queue<int> q;
+    level_[s_] = 0;
+    q.push(s_);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int e : net_.arcs_out(v)) {
+        const int w = net_.arc_to(e);
+        if (level_[w] < 0 && net_.residual(e) > 0) {
+          level_[w] = level_[v] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return level_[t_] >= 0;
+  }
+
+  Cap dfs(int v, Cap limit) {
+    if (v == t_) return limit;
+    const auto& arcs = net_.arcs_out(v);
+    for (auto& i = iter_[static_cast<std::size_t>(v)];
+         i < arcs.size(); ++i) {
+      const int e = arcs[i];
+      const int w = net_.arc_to(e);
+      if (net_.residual(e) <= 0 || level_[w] != level_[v] + 1) continue;
+      const Cap pushed = dfs(w, std::min(limit, net_.residual(e)));
+      if (pushed > 0) {
+        net_.push(e, pushed);
+        return pushed;
+      }
+    }
+    return 0;
+  }
+
+  FlowNetwork& net_;
+  int s_, t_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace
+
+FlowNetwork::Cap max_flow(FlowNetwork& net, int s, int t, MaxFlowAlgo algo) {
+  MHP_REQUIRE(s >= 0 && s < net.num_nodes() && t >= 0 && t < net.num_nodes(),
+              "terminal out of range");
+  MHP_REQUIRE(s != t, "source equals sink");
+  net.reset_flow();
+  switch (algo) {
+    case MaxFlowAlgo::kEdmondsKarp:
+      return edmonds_karp(net, s, t);
+    case MaxFlowAlgo::kDinic:
+      return Dinic(net, s, t).run();
+  }
+  return 0;
+}
+
+}  // namespace mhp

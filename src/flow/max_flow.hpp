@@ -1,0 +1,19 @@
+// Max-flow solvers over FlowNetwork.
+//
+// The paper invokes Ford–Fulkerson for the min-max-load routing problem;
+// we provide Edmonds–Karp (the BFS Ford–Fulkerson, O(VE²)) and Dinic
+// (O(V²E), much faster in practice) and cross-check them in tests.
+#pragma once
+
+#include "flow/flow_network.hpp"
+
+namespace mhp {
+
+enum class MaxFlowAlgo { kEdmondsKarp, kDinic };
+
+/// Compute a maximum s→t flow; the flow assignment is left on `net`
+/// (query via FlowNetwork::flow).  Existing flow is cleared first.
+FlowNetwork::Cap max_flow(FlowNetwork& net, int s, int t,
+                          MaxFlowAlgo algo = MaxFlowAlgo::kDinic);
+
+}  // namespace mhp

@@ -1,0 +1,297 @@
+#include "flow/min_max_load.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+namespace {
+
+using Cap = FlowNetwork::Cap;
+
+/// Node layout inside the flow network for n sensors:
+///   source = 0, sink t = 1, input(s) = 2 + 2s, output(s) = 3 + 2s.
+struct Layout {
+  static int source() { return 0; }
+  static int sink() { return 1; }
+  static int input(NodeId s) { return 2 + 2 * static_cast<int>(s); }
+  static int output(NodeId s) { return 3 + 2 * static_cast<int>(s); }
+  static bool is_input(int v) { return v >= 2 && (v - 2) % 2 == 0; }
+  static NodeId sensor_of(int v) { return static_cast<NodeId>((v - 2) / 2); }
+};
+
+struct BuiltNetwork {
+  FlowNetwork net;
+  std::vector<int> demand_arc;    // per sensor: source→input arc (-1 if 0)
+  std::vector<int> capacity_arc;  // per sensor: input→output arc
+};
+
+BuiltNetwork build(const ClusterTopology& topo,
+                   const std::vector<Cap>& demand,
+                   const std::vector<Cap>& weight, Cap delta) {
+  const std::size_t n = topo.num_sensors();
+  BuiltNetwork b;
+  b.net.add_nodes(2 + 2 * static_cast<int>(n));
+  b.demand_arc.assign(n, -1);
+  b.capacity_arc.assign(n, -1);
+  for (NodeId s = 0; s < n; ++s) {
+    if (demand[s] > 0)
+      b.demand_arc[s] =
+          b.net.add_arc(Layout::source(), Layout::input(s), demand[s]);
+    b.capacity_arc[s] =
+        b.net.add_arc(Layout::input(s), Layout::output(s), delta * weight[s]);
+    if (topo.head_hears(s))
+      b.net.add_arc(Layout::output(s), Layout::sink(),
+                    FlowNetwork::kInfinite);
+  }
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId bb : topo.sensor_links().neighbors(a))
+      b.net.add_arc(Layout::output(a), Layout::input(bb),
+                    FlowNetwork::kInfinite);
+  return b;
+}
+
+/// Find one cycle of positive flow via DFS (white/gray/black colouring)
+/// and cancel it.  Returns false when the flow graph is acyclic.
+bool cancel_one_cycle(const FlowNetwork& net, std::vector<Cap>& remaining) {
+  const auto n = static_cast<std::size_t>(net.num_nodes());
+  std::vector<int> color(n, 0);      // 0 white, 1 gray, 2 black
+  std::vector<int> entry_arc(n, -1); // DFS tree arc into each gray node
+
+  // Iterative DFS frame: node + index into its arc list.
+  struct Frame {
+    int v;
+    std::size_t i;
+  };
+
+  auto flows = [&](int e) {
+    return (e % 2) == 0 && remaining[static_cast<std::size_t>(e)] > 0;
+  };
+
+  for (int root = 0; root < net.num_nodes(); ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      const auto& arcs = net.arcs_out(v);
+      bool descended = false;
+      for (; i < arcs.size(); ++i) {
+        const int e = arcs[i];
+        if (!flows(e)) continue;
+        const int w = net.arc_to(e);
+        if (color[static_cast<std::size_t>(w)] == 1) {
+          // Back arc: cycle w → … → v → w.
+          std::vector<int> cycle{e};
+          for (int u = v; u != w; u = net.arc_from(entry_arc[u]))
+            cycle.push_back(entry_arc[u]);
+          Cap m = FlowNetwork::kInfinite;
+          for (int ce : cycle)
+            m = std::min(m, remaining[static_cast<std::size_t>(ce)]);
+          for (int ce : cycle) remaining[static_cast<std::size_t>(ce)] -= m;
+          return true;
+        }
+        if (color[static_cast<std::size_t>(w)] == 0) {
+          color[static_cast<std::size_t>(w)] = 1;
+          entry_arc[w] = e;
+          ++i;
+          stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+/// Cancel all cycles of positive flow so the flow is acyclic (cycle flow
+/// is redundant: removing it preserves value and conservation).
+void cancel_cycles(const FlowNetwork& net, std::vector<Cap>& remaining) {
+  while (cancel_one_cycle(net, remaining)) {
+  }
+}
+
+/// Decompose the (acyclic) flow on `net` into unit paths per sensor.
+std::vector<std::vector<UnitPath>> decompose(FlowNetwork& net,
+                                             const ClusterTopology& topo,
+                                             const std::vector<Cap>& demand) {
+  const std::size_t n = topo.num_sensors();
+  // remaining[e]: undistributed flow on forward arc e.  The sink has no
+  // outgoing forward flow, so cancel_cycles never touches s→…→t paths'
+  // net balance at the terminals.
+  std::vector<Cap> remaining(static_cast<std::size_t>(net.num_arcs()), 0);
+  for (int e = 0; e < net.num_arcs(); e += 2)
+    remaining[static_cast<std::size_t>(e)] = net.flow(e);
+  cancel_cycles(net, remaining);
+
+  auto next_arc = [&](int v) {
+    for (int e : net.arcs_out(v))
+      if ((e % 2) == 0 && remaining[static_cast<std::size_t>(e)] > 0)
+        return e;
+    return -1;
+  };
+
+  std::vector<std::vector<UnitPath>> paths(n);
+  for (NodeId s = 0; s < n; ++s) {
+    Cap left = demand[s];
+    while (left > 0) {
+      // One unit path: input(s) → … → sink.  The source→input(s) unit is
+      // consumed implicitly through `left`.
+      std::vector<NodeId> hops{s};
+      int v = Layout::input(s);
+      int steps = 0;
+      while (v != Layout::sink()) {
+        const int e = next_arc(v);
+        MHP_ENSURE(e >= 0, "flow decomposition stuck (conservation broken)");
+        MHP_ENSURE(++steps <= net.num_arcs(),
+                   "flow decomposition loop (cycle survived cancellation)");
+        remaining[static_cast<std::size_t>(e)] -= 1;
+        v = net.arc_to(e);
+        if (Layout::is_input(v) && v != Layout::input(s))
+          hops.push_back(Layout::sensor_of(v));
+      }
+      hops.push_back(topo.head());
+      // Merge with an identical existing path if any.
+      auto& list = paths[s];
+      auto it = std::find_if(list.begin(), list.end(), [&](const UnitPath& p) {
+        return p.hops == hops;
+      });
+      if (it != list.end())
+        it->units += 1;
+      else
+        list.push_back(UnitPath{std::move(hops), 1});
+      left -= 1;
+    }
+  }
+  return paths;
+}
+
+std::vector<Cap> loads_from_paths(
+    const std::vector<std::vector<UnitPath>>& paths, std::size_t n) {
+  std::vector<Cap> load(n, 0);
+  for (const auto& plist : paths) {
+    for (const auto& p : plist) {
+      // Every hop except the head transmits the packet `units` times.
+      for (std::size_t i = 0; i + 1 < p.hops.size(); ++i)
+        load[p.hops[i]] += p.units;
+    }
+  }
+  return load;
+}
+
+}  // namespace
+
+MinMaxLoadResult solve_min_max_load(const ClusterTopology& topo,
+                                    const std::vector<std::int64_t>& demand,
+                                    const std::vector<std::int64_t>& weight,
+                                    MaxFlowAlgo algo) {
+  const std::size_t n = topo.num_sensors();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+  std::vector<Cap> w = weight;
+  if (w.empty()) w.assign(n, 1);
+  MHP_REQUIRE(w.size() == n, "weight size mismatch");
+  for (NodeId s = 0; s < n; ++s) {
+    MHP_REQUIRE(demand[s] >= 0, "negative demand");
+    MHP_REQUIRE(w[s] >= 1, "weights must be >= 1");
+  }
+
+  MinMaxLoadResult result;
+  result.paths.assign(n, {});
+  result.load.assign(n, 0);
+  const Cap total = std::accumulate(demand.begin(), demand.end(), Cap{0});
+  if (total == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Demand from a sensor with no relay path can never be routed.
+  for (NodeId s = 0; s < n; ++s)
+    if (demand[s] > 0 && topo.level(s) == ClusterTopology::kUnreachable)
+      return result;  // infeasible
+
+  auto flow_at = [&](Cap delta) {
+    BuiltNetwork b = build(topo, demand, w, delta);
+    const Cap f = max_flow(b.net, 0, 1, algo);
+    return std::pair<Cap, BuiltNetwork>(f, std::move(b));
+  };
+
+  // Exponential search for a feasible δ, then binary search the minimum.
+  Cap hi = 1;
+  while (flow_at(hi).first < total) {
+    MHP_ENSURE(hi <= total * 2, "min-max-load search diverged");
+    hi *= 2;
+  }
+  Cap lo = hi / 2 + (hi == 1 ? 0 : 1);
+  if (hi == 1) lo = 1;
+  while (lo < hi) {
+    const Cap mid = lo + (hi - lo) / 2;
+    if (flow_at(mid).first >= total)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+
+  auto [f, built] = flow_at(hi);
+  MHP_ENSURE(f == total, "final flow lost feasibility");
+  result.feasible = true;
+  result.max_load = hi;
+  result.paths = decompose(built.net, topo, demand);
+  result.load = loads_from_paths(result.paths, n);
+  return result;
+}
+
+MinMaxLoadResult solve_shortest_path_routing(
+    const ClusterTopology& topo, const std::vector<std::int64_t>& demand) {
+  const std::size_t n = topo.num_sensors();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+  MinMaxLoadResult result;
+  result.paths.assign(n, {});
+  result.load.assign(n, 0);
+
+  // Parent of each sensor: the lowest-id neighbor one level closer (or the
+  // head for first-level sensors).
+  std::vector<NodeId> parent(n, kNoNode);
+  for (NodeId s = 0; s < n; ++s) {
+    if (topo.level(s) == ClusterTopology::kUnreachable) {
+      if (demand[s] > 0) return result;  // infeasible
+      continue;
+    }
+    if (topo.head_hears(s)) {
+      parent[s] = topo.head();
+      continue;
+    }
+    for (NodeId nb : topo.sensor_links().neighbors(s)) {
+      if (topo.level(nb) + 1 == topo.level(s)) {
+        parent[s] = nb;
+        break;
+      }
+    }
+    MHP_ENSURE(parent[s] != kNoNode, "level structure inconsistent");
+  }
+
+  for (NodeId s = 0; s < n; ++s) {
+    if (demand[s] == 0) continue;
+    std::vector<NodeId> hops{s};
+    NodeId v = s;
+    while (v != topo.head()) {
+      v = parent[v];
+      hops.push_back(v);
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+      result.load[hops[i]] += demand[s];
+    result.paths[s].push_back(UnitPath{std::move(hops), demand[s]});
+  }
+  result.feasible = true;
+  result.max_load =
+      *std::max_element(result.load.begin(), result.load.end());
+  return result;
+}
+
+}  // namespace mhp

@@ -1,0 +1,34 @@
+#include "metrics/lifetime.hpp"
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+double lifetime_first_death_s(std::span<const double> sensor_power_w,
+                              const BatteryModel& battery) {
+  MHP_REQUIRE(!sensor_power_w.empty(), "no sensors");
+  const double worst =
+      *std::max_element(sensor_power_w.begin(), sensor_power_w.end());
+  MHP_REQUIRE(worst > 0.0, "non-positive power draw");
+  return battery.capacity_j / worst;
+}
+
+double lifetime_median_death_s(std::span<const double> sensor_power_w,
+                               const BatteryModel& battery) {
+  MHP_REQUIRE(!sensor_power_w.empty(), "no sensors");
+  std::vector<double> sorted(sensor_power_w.begin(), sensor_power_w.end());
+  std::sort(sorted.begin(), sorted.end());
+  // The (n/2)-th highest draw dies at the median time.
+  const double p = sorted[sorted.size() / 2];
+  MHP_REQUIRE(p > 0.0, "non-positive power draw");
+  return battery.capacity_j / p;
+}
+
+double analytic_power_rate(double alpha, double beta, double load,
+                           double polling_time) {
+  return alpha * load + beta * polling_time;
+}
+
+}  // namespace mhp

@@ -1,0 +1,66 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+ClusterTopology::ClusterTopology(Graph sensor_links,
+                                 std::vector<bool> head_hears)
+    : links_(std::move(sensor_links)), head_hears_(std::move(head_hears)) {
+  MHP_REQUIRE(head_hears_.size() == links_.size(),
+              "head_hears size must match sensor count");
+  // Multi-source BFS from the first-level sensors.
+  levels_.assign(num_sensors(), kUnreachable);
+  std::queue<NodeId> q;
+  for (NodeId s = 0; s < num_sensors(); ++s) {
+    if (head_hears_[s]) {
+      levels_[s] = 1;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : links_.neighbors(v)) {
+      if (levels_[w] == kUnreachable) {
+        levels_[w] = levels_[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+}
+
+bool ClusterTopology::head_hears(NodeId s) const {
+  MHP_REQUIRE(s < num_sensors(), "sensor out of range");
+  return head_hears_[s];
+}
+
+std::size_t ClusterTopology::level(NodeId s) const {
+  MHP_REQUIRE(s < num_sensors(), "sensor out of range");
+  return levels_[s];
+}
+
+std::vector<NodeId> ClusterTopology::first_level() const {
+  std::vector<NodeId> out;
+  for (NodeId s = 0; s < num_sensors(); ++s)
+    if (head_hears_[s]) out.push_back(s);
+  return out;
+}
+
+bool ClusterTopology::fully_connected() const {
+  return std::none_of(levels_.begin(), levels_.end(), [](std::size_t l) {
+    return l == kUnreachable;
+  });
+}
+
+std::size_t ClusterTopology::max_level() const {
+  std::size_t m = 0;
+  for (std::size_t l : levels_)
+    if (l != kUnreachable) m = std::max(m, l);
+  return m;
+}
+
+}  // namespace mhp

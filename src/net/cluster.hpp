@@ -1,0 +1,55 @@
+// Cluster topology: which sensors can hear each other, and which sensors
+// the cluster head can hear directly (the "first level").
+//
+// Per the paper's model, the head's downlink (large transmission power)
+// reaches every sensor in the cluster, while the sensor uplink is
+// short-range and multi-hop.  Uplink reachability is what this structure
+// records; it is the connectivity pattern the head discovers in §V-B.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "net/ids.hpp"
+#include "util/geometry.hpp"
+
+namespace mhp {
+
+class ClusterTopology {
+ public:
+  /// `sensor_links`: undirected sensor↔sensor reachability graph over
+  /// sensors 0..n-1.  `head_hears[s]`: the head decodes s's transmissions.
+  ClusterTopology(Graph sensor_links, std::vector<bool> head_hears);
+
+  std::size_t num_sensors() const { return links_.size(); }
+  NodeId head() const { return static_cast<NodeId>(num_sensors()); }
+
+  const Graph& sensor_links() const { return links_; }
+  bool head_hears(NodeId s) const;
+  bool sensors_linked(NodeId a, NodeId b) const {
+    return links_.has_edge(a, b);
+  }
+
+  /// Hop count of each sensor: 1 for first-level sensors, otherwise one
+  /// more than the nearest first-level-reaching neighbor.  kUnreachable for
+  /// sensors with no relay path to the head.
+  static constexpr std::size_t kUnreachable = Graph::kUnreachable;
+  const std::vector<std::size_t>& levels() const { return levels_; }
+  std::size_t level(NodeId s) const;
+
+  /// Sensors the head hears directly.
+  std::vector<NodeId> first_level() const;
+
+  /// Every sensor has a relay path to the head.
+  bool fully_connected() const;
+
+  std::size_t max_level() const;
+
+ private:
+  Graph links_;
+  std::vector<bool> head_hears_;
+  std::vector<std::size_t> levels_;
+};
+
+}  // namespace mhp

@@ -1,0 +1,103 @@
+#include "net/deployment.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+Deployment deploy_uniform_square(std::size_t n, double side, Rng& rng) {
+  MHP_REQUIRE(side > 0.0, "square side must be positive");
+  Deployment d;
+  d.positions.reserve(n + 1);
+  const double half = side / 2.0;
+  for (std::size_t i = 0; i < n; ++i)
+    d.positions.push_back({rng.uniform(-half, half), rng.uniform(-half, half)});
+  d.positions.push_back({0.0, 0.0});  // head at the centre
+  return d;
+}
+
+Deployment deploy_grid(std::size_t n, double side) {
+  MHP_REQUIRE(side > 0.0, "square side must be positive");
+  Deployment d;
+  d.positions.reserve(n + 1);
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = i / cols;
+    const std::size_t c = i % cols;
+    const double x =
+        -side / 2.0 + side * (static_cast<double>(c) + 0.5) /
+                          static_cast<double>(cols);
+    const double y =
+        -side / 2.0 + side * (static_cast<double>(r) + 0.5) /
+                          static_cast<double>(rows);
+    d.positions.push_back({x, y});
+  }
+  d.positions.push_back({0.0, 0.0});
+  return d;
+}
+
+Deployment deploy_rings(std::size_t rings, std::size_t per_ring,
+                        double spacing) {
+  MHP_REQUIRE(spacing > 0.0, "ring spacing must be positive");
+  Deployment d;
+  d.positions.reserve(rings * per_ring + 1);
+  for (std::size_t r = 1; r <= rings; ++r) {
+    const double radius = spacing * static_cast<double>(r);
+    for (std::size_t k = 0; k < per_ring; ++k) {
+      const double theta = 2.0 * std::numbers::pi *
+                           (static_cast<double>(k) +
+                            0.5 * static_cast<double>(r % 2)) /
+                           static_cast<double>(per_ring);
+      d.positions.push_back({radius * std::cos(theta),
+                             radius * std::sin(theta)});
+    }
+  }
+  d.positions.push_back({0.0, 0.0});
+  return d;
+}
+
+ClusterTopology disc_topology(const Deployment& d, double sensor_range,
+                              double uplink_range) {
+  MHP_REQUIRE(sensor_range > 0.0, "sensor range must be positive");
+  if (uplink_range <= 0.0) uplink_range = sensor_range;
+  const std::size_t n = d.num_sensors();
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b)
+      if (distance(d.sensor_pos(a), d.sensor_pos(b)) <= sensor_range)
+        g.add_edge(a, b);
+  std::vector<bool> head_hears(n);
+  for (NodeId s = 0; s < n; ++s)
+    head_hears[s] = distance(d.sensor_pos(s), d.head_pos()) <= uplink_range;
+  return ClusterTopology(std::move(g), std::move(head_hears));
+}
+
+ClusterTopology topology_from_predicate(
+    std::size_t n, const std::function<bool(NodeId, NodeId)>& hears) {
+  const auto head = static_cast<NodeId>(n);
+  Graph g(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b)
+      if (hears(a, b) && hears(b, a)) g.add_edge(a, b);
+  std::vector<bool> head_hears(n);
+  for (NodeId s = 0; s < n; ++s) head_hears[s] = hears(s, head);
+  return ClusterTopology(std::move(g), std::move(head_hears));
+}
+
+Deployment deploy_connected_uniform_square(std::size_t n, double side,
+                                           double sensor_range, Rng& rng,
+                                           int max_tries) {
+  for (int t = 0; t < max_tries; ++t) {
+    Deployment d = deploy_uniform_square(n, side, rng);
+    if (disc_topology(d, sensor_range).fully_connected()) return d;
+  }
+  throw ContractViolation(
+      "deploy_connected_uniform_square: no connected deployment found; "
+      "sensor_range too small for this density");
+}
+
+}  // namespace mhp

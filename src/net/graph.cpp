@@ -1,0 +1,62 @@
+#include "net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+void Graph::add_edge(NodeId a, NodeId b) {
+  MHP_REQUIRE(a < size() && b < size(), "edge endpoint out of range");
+  MHP_REQUIRE(a != b, "self loop");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  MHP_REQUIRE(a < size() && b < size(), "edge endpoint out of range");
+  const auto& na = adj_[a];
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  MHP_REQUIRE(v < size(), "node out of range");
+  return adj_[v];
+}
+
+std::size_t Graph::edge_count() const {
+  std::size_t twice = 0;
+  for (const auto& n : adj_) twice += n.size();
+  return twice / 2;
+}
+
+std::vector<std::size_t> Graph::bfs_hops(NodeId src) const {
+  MHP_REQUIRE(src < size(), "source out of range");
+  std::vector<std::size_t> dist(size(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[src] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId w : adj_[v]) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::connected() const {
+  if (size() == 0) return true;
+  const auto dist = bfs_hops(0);
+  return std::none_of(dist.begin(), dist.end(), [](std::size_t d) {
+    return d == kUnreachable;
+  });
+}
+
+}  // namespace mhp

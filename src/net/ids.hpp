@@ -1,0 +1,15 @@
+// Node identifiers.  Within a cluster of n sensors the sensors are
+// 0..n-1 and the cluster head is node n (one past the sensors), so a single
+// position/power array of size n+1 covers everyone.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mhp {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace mhp

@@ -1,0 +1,36 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace mhp {
+
+const char* to_string(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kData:
+      return "data";
+    case FrameKind::kControl:
+      return "control";
+    case FrameKind::kAck:
+      return "ack";
+    case FrameKind::kMac:
+      return "mac";
+    case FrameKind::kRouting:
+      return "routing";
+    case FrameKind::kProbe:
+      return "probe";
+  }
+  return "?";
+}
+
+std::string Frame::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << "#" << uid << " " << src << "->";
+  if (dst == kBroadcast)
+    os << "*";
+  else
+    os << dst;
+  os << " (" << size_bytes << "B)";
+  return os.str();
+}
+
+}  // namespace mhp

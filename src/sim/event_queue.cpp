@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+EventId EventQueue::push(Time when, EventFn fn) {
+  MHP_REQUIRE(fn != nullptr, "null event function");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::drop_dead() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+std::optional<Time> EventQueue::peek_time() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().when;
+}
+
+std::optional<EventQueue::Popped> EventQueue::pop() {
+  drop_dead();
+  if (heap_.empty()) return std::nullopt;
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = pending_.find(top.id);
+  MHP_ENSURE(it != pending_.end(), "live heap entry without pending fn");
+  Popped out{top.when, top.id, std::move(it->second)};
+  pending_.erase(it);
+  return out;
+}
+
+}  // namespace mhp

@@ -1,0 +1,68 @@
+// Pending-event set for the discrete-event kernel.
+//
+// A binary heap keyed on (time, sequence) — the sequence number makes
+// same-time events fire in schedule order, which keeps simulations
+// deterministic.  Cancellation is lazy: cancelled entries stay in the heap
+// and are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mhp {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Insert an event; returns a handle usable with cancel().
+  EventId push(Time when, EventFn fn);
+
+  /// Cancel a pending event.  Returns false if it already fired, was
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; nullopt when empty.
+  std::optional<Time> peek_time();
+
+  struct Popped {
+    Time when;
+    EventId id;
+    EventFn fn;
+  };
+  /// Remove and return the earliest live event; nullopt when empty.
+  std::optional<Popped> pop();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop heap entries whose id is no longer pending (cancelled).
+  void drop_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, EventFn> pending_;
+  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mhp

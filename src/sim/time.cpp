@@ -1,0 +1,16 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace mhp {
+
+Time Time::seconds(double s) {
+  return Time::ns(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.to_seconds() << "s";
+}
+
+}  // namespace mhp

@@ -1,0 +1,62 @@
+// Simulation time as a strong integer type (nanosecond ticks).
+//
+// Integer time makes event ordering exact and runs bit-identical across
+// platforms; 64-bit nanoseconds cover ~292 years of simulated time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace mhp {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time ns(std::int64_t v) { return Time(v); }
+  static constexpr Time us(std::int64_t v) { return Time(v * 1'000); }
+  static constexpr Time ms(std::int64_t v) { return Time(v * 1'000'000); }
+  static constexpr Time sec(std::int64_t v) {
+    return Time(v * 1'000'000'000);
+  }
+  /// Nearest-nanosecond conversion from floating-point seconds.
+  static Time seconds(double s);
+  static constexpr Time max() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  constexpr double to_millis() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) {
+    return Time(a.ns_ * k);
+  }
+  constexpr Time& operator+=(Time b) {
+    ns_ += b.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time b) {
+    ns_ -= b.ns_;
+    return *this;
+  }
+  /// Integer division: how many `b` intervals fit in `a`.
+  friend constexpr std::int64_t operator/(Time a, Time b) {
+    return a.ns_ / b.ns_;
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace mhp

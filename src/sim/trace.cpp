@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <ostream>
+
+namespace mhp {
+
+const char* to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kProtocol:
+      return "protocol";
+    case TraceCat::kChannel:
+      return "channel";
+    case TraceCat::kEnergy:
+      return "energy";
+    case TraceCat::kRouting:
+      return "routing";
+    case TraceCat::kMac:
+      return "mac";
+  }
+  return "?";
+}
+
+void Trace::record(Time when, TraceCat cat, std::string text) {
+  if (!enabled(cat)) return;
+  entries_.push_back(TraceEntry{when, cat, std::move(text)});
+}
+
+std::vector<std::string> Trace::texts(TraceCat cat) const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_)
+    if (e.cat == cat) out.push_back(e.text);
+  return out;
+}
+
+void Trace::print(std::ostream& os) const {
+  for (const auto& e : entries_)
+    os << e.when << " [" << to_string(e.cat) << "] " << e.text << "\n";
+}
+
+}  // namespace mhp

@@ -1,0 +1,57 @@
+// Lightweight tracing: simulations record categorized entries that tests
+// can inspect and examples can print.  Disabled categories cost one branch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mhp {
+
+enum class TraceCat : std::uint8_t {
+  kProtocol,  // duty-cycle phases, polling messages
+  kChannel,   // transmissions, receptions, losses
+  kEnergy,    // radio state changes
+  kRouting,   // path computation
+  kMac,       // baseline MAC events
+};
+
+const char* to_string(TraceCat cat);
+
+struct TraceEntry {
+  Time when;
+  TraceCat cat;
+  std::string text;
+};
+
+class Trace {
+ public:
+  /// All categories disabled by default (zero overhead unless asked for).
+  void enable(TraceCat cat) { mask_ |= bit(cat); }
+  void disable(TraceCat cat) { mask_ &= ~bit(cat); }
+  void enable_all() { mask_ = ~0u; }
+  bool enabled(TraceCat cat) const { return (mask_ & bit(cat)) != 0; }
+
+  void record(Time when, TraceCat cat, std::string text);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Entries of one category, in order.
+  std::vector<std::string> texts(TraceCat cat) const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  static std::uint32_t bit(TraceCat cat) {
+    return 1u << static_cast<std::uint8_t>(cat);
+  }
+
+  std::uint32_t mask_ = 0;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace mhp

@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace mhp {
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double rate) {
+  MHP_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / rate;
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  // Mix the current state with the index through SplitMix64 so children are
+  // decorrelated from the parent and from each other.
+  SplitMix64 sm(s_[0] ^ (s_[3] + 0x9e3779b97f4a7c15ULL * (index + 1)));
+  Rng child(sm.next());
+  return child;
+}
+
+}  // namespace mhp

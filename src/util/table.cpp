@@ -1,0 +1,98 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), precision_(headers_.size(), 3) {
+  MHP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::set_precision(std::size_t col, int digits) {
+  MHP_REQUIRE(col < cols(), "column out of range");
+  precision_[col] = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  MHP_REQUIRE(row.size() == cols(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+const Cell& Table::at(std::size_t r, std::size_t c) const {
+  MHP_REQUIRE(r < rows() && c < cols(), "cell out of range");
+  return rows_[r][c];
+}
+
+std::string Table::format_cell(const Cell& cell, std::size_t col) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<long long>(&cell)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(precision_[col])
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(cols());
+  for (std::size_t c = 0; c < cols(); ++c) width[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> cells(rows());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    cells[r].resize(cols());
+    for (std::size_t c = 0; c < cols(); ++c) {
+      cells[r][c] = format_cell(rows_[r][c], c);
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < cols(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(width[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : cells) emit(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < cols(); ++c)
+    os << (c ? "," : "") << quote(headers_[c]);
+  os << "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c)
+      os << (c ? "," : "") << quote(format_cell(rows_[r][c], c));
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_ascii(); }
+
+}  // namespace mhp

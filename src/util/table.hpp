@@ -1,0 +1,45 @@
+// ASCII table and CSV emitters shared by the benchmark harnesses so every
+// figure reproduction prints its series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mhp {
+
+/// A cell is a string, an integer, or a double (printed with fixed
+/// precision chosen per column).
+using Cell = std::variant<std::string, long long, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of decimal places for double cells in column `col` (default 3).
+  void set_precision(std::size_t col, int digits);
+
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return headers_.size(); }
+  const Cell& at(std::size_t r, std::size_t c) const;
+
+  /// Render as an aligned ASCII table with a header rule.
+  std::string to_ascii() const;
+
+  /// Render as CSV (RFC-4180 quoting for strings containing separators).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string format_cell(const Cell& cell, std::size_t col) const;
+
+  std::vector<std::string> headers_;
+  std::vector<int> precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mhp

@@ -1,0 +1,50 @@
+// Fixed-size thread pool used by the experiment harness to fan parameter
+// sweeps across cores.  Determinism note: sweep points derive their own RNG
+// seeds, so results are identical regardless of worker count or scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mhp {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; runs at some point on a worker thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Run fn(i) for i in [0, n), blocking until all complete.  Exceptions
+  /// thrown by fn propagate (the first one) after all iterations finish or
+  /// are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mhp

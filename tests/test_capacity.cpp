@@ -1,0 +1,71 @@
+// Capacity model (§VI-A): the analytic duty prediction must track the
+// event-simulated duty cycle and reproduce Fig 7(a)'s saturation wall.
+#include <gtest/gtest.h>
+
+#include "core/capacity.hpp"
+#include "core/polling_simulation.hpp"
+#include "net/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+TEST(Capacity, PredictionTracksSimulation) {
+  Rng rng(41);
+  const Deployment dep = deploy_connected_uniform_square(20, 200.0, 60.0, rng);
+  ProtocolConfig cfg;
+
+  for (double rate : {20.0, 60.0}) {
+    PollingSimulation sim(dep, cfg, rate);
+    const auto rep = sim.run(Time::sec(40), Time::sec(10));
+
+    const auto est = estimate_capacity(sim.topology(), sim.relay_plan(),
+                                       sim.oracle(), rate, cfg);
+    ASSERT_FALSE(est.saturated);
+    // Active fraction ≈ duty fraction (sensors sleep outside the duty
+    // cycle).  Allow 40% relative slack: the simulation adds re-poll and
+    // wake-margin overheads the model prices approximately.
+    EXPECT_NEAR(est.duty_fraction, rep.mean_active_fraction,
+                0.4 * rep.mean_active_fraction)
+        << "rate " << rate;
+  }
+}
+
+TEST(Capacity, DutyGrowsWithRateAndSize) {
+  ProtocolConfig cfg;
+  Rng rng(43);
+  const Deployment small = deploy_connected_uniform_square(10, 200.0, 60.0, rng);
+  const Deployment large = deploy_connected_uniform_square(40, 200.0, 60.0, rng);
+
+  auto duty = [&](const Deployment& dep, double rate) {
+    PollingSimulation sim(dep, cfg, rate);  // reuse its measured setup
+    return estimate_capacity(sim.topology(), sim.relay_plan(), sim.oracle(),
+                             rate, cfg)
+        .duty_fraction;
+  };
+  EXPECT_LT(duty(small, 20.0), duty(small, 80.0));
+  EXPECT_LT(duty(small, 40.0), duty(large, 40.0));
+}
+
+TEST(Capacity, SaturationDetectedAtAbsurdRate) {
+  Rng rng(44);
+  const Deployment dep = deploy_connected_uniform_square(30, 200.0, 60.0, rng);
+  ProtocolConfig cfg;
+  PollingSimulation sim(dep, cfg, 20.0);
+  const auto est = estimate_capacity(sim.topology(), sim.relay_plan(),
+                                     sim.oracle(), 5000.0, cfg);
+  EXPECT_TRUE(est.saturated);
+  EXPECT_GT(est.duty_fraction, 1.0);
+}
+
+TEST(Capacity, MaxClusterSizeShrinksWithRate) {
+  ProtocolConfig cfg;
+  const std::size_t slow = max_cluster_size(20.0, cfg, 0.99, 120);
+  const std::size_t fast = max_cluster_size(80.0, cfg, 0.99, 120);
+  EXPECT_GT(slow, 0u);
+  EXPECT_GT(fast, 0u);
+  EXPECT_GE(slow, fast);  // Fig 7(a)'s threshold moves left as rate grows
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,59 @@
+// Experiment harness: sweeps must be deterministic regardless of worker
+// count (per-point seeds, ordered results).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "exp/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+TEST(Sweep, ResultsInPointOrder) {
+  std::vector<int> points{5, 3, 9, 1};
+  const auto results = mhp::exp::sweep<int, int>(
+      points, std::function<int(const int&)>([](const int& p) {
+        return p * 10;
+      }),
+      2);
+  EXPECT_EQ(results, (std::vector<int>{50, 30, 90, 10}));
+}
+
+TEST(Sweep, WorkerCountDoesNotChangeResults) {
+  std::vector<std::uint64_t> points(40);
+  for (std::size_t i = 0; i < points.size(); ++i) points[i] = i;
+  auto fn = std::function<double(const std::uint64_t&)>(
+      [](const std::uint64_t& seed) {
+        Rng rng(seed);  // per-point seed: identical on any worker
+        double acc = 0.0;
+        for (int k = 0; k < 100; ++k) acc += rng.uniform();
+        return acc;
+      });
+  const auto serial = mhp::exp::sweep<std::uint64_t, double>(points, fn, 1);
+  const auto wide = mhp::exp::sweep<std::uint64_t, double>(points, fn, 8);
+  EXPECT_EQ(serial, wide);
+}
+
+TEST(Sweep, EmptyPoints) {
+  const auto results = mhp::exp::sweep<int, int>(
+      {}, std::function<int(const int&)>([](const int&) { return 0; }));
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(Sweep, ExceptionPropagates) {
+  std::vector<int> points{1, 2, 3};
+  EXPECT_THROW(
+      (mhp::exp::sweep<int, int>(points,
+                                 std::function<int(const int&)>(
+                                     [](const int& p) -> int {
+                                       if (p == 2)
+                                         throw std::runtime_error("boom");
+                                       return p;
+                                     }),
+                                 2)),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/interference.hpp"
+#include "radio/channel.hpp"
+#include "sim/simulator.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+namespace {
+
+// ---------- normalize / structural validity ----------
+
+TEST(TxGroup, NormalizeSortsAndDedupes) {
+  const Tx a{2, 3}, b{0, 1};
+  const TxGroup g = normalize(std::vector<Tx>{a, b, a});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0], b);
+  EXPECT_EQ(g[1], a);
+}
+
+TEST(StructuralValidity, AcceptsDisjointTransmissions) {
+  EXPECT_TRUE(structurally_valid(std::vector<Tx>{{0, 1}, {2, 3}}));
+}
+
+TEST(StructuralValidity, RejectsHalfDuplexViolation) {
+  // 1 receives in the first and sends in the second.
+  EXPECT_FALSE(structurally_valid(std::vector<Tx>{{0, 1}, {1, 2}}));
+}
+
+TEST(StructuralValidity, RejectsDuplicateSender) {
+  EXPECT_FALSE(structurally_valid(std::vector<Tx>{{0, 1}, {0, 2}}));
+}
+
+TEST(StructuralValidity, RejectsSharedReceiver) {
+  EXPECT_FALSE(structurally_valid(std::vector<Tx>{{0, 2}, {1, 2}}));
+}
+
+TEST(StructuralValidity, RejectsSelfTransmission) {
+  EXPECT_FALSE(structurally_valid(std::vector<Tx>{{1, 1}}));
+}
+
+// ---------- ExplicitOracle ----------
+
+TEST(ExplicitOracle, SingletonsAlwaysCompatible) {
+  ExplicitOracle oracle(2);
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{{0, 1}}));
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{}));
+}
+
+TEST(ExplicitOracle, PairsRequireDeclaration) {
+  ExplicitOracle oracle(2);
+  const Tx a{0, 1}, b{2, 3};
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, b}));
+  oracle.allow_pair(a, b);
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, b}));
+  // Order does not matter.
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{b, a}));
+}
+
+TEST(ExplicitOracle, GroupsBeyondOrderIncompatible) {
+  ExplicitOracle oracle(2);
+  const Tx a{0, 1}, b{2, 3}, c{4, 5};
+  oracle.allow_pair(a, b);
+  oracle.allow_pair(a, c);
+  oracle.allow_pair(b, c);
+  // Pairwise fine but the oracle only knows pairs (order 2).
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, b, c}));
+}
+
+TEST(ExplicitOracle, TriplesPassPairwiseScreenAtOrder3) {
+  ExplicitOracle oracle(3);
+  const Tx a{0, 1}, b{2, 3}, c{4, 5};
+  oracle.allow_pair(a, b);
+  oracle.allow_pair(a, c);
+  oracle.allow_pair(b, c);
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, b, c}));
+}
+
+TEST(ExplicitOracle, ForbidGroupModelsAccumulatedInterference) {
+  // The Fig 3 situation: pairwise compatible, jointly forbidden.
+  ExplicitOracle oracle(3);
+  const Tx a{0, 1}, b{2, 3}, c{4, 5};
+  oracle.allow_group(std::vector<Tx>{a, b});
+  oracle.allow_group(std::vector<Tx>{a, c});
+  oracle.allow_group(std::vector<Tx>{b, c});
+  oracle.forbid_group(std::vector<Tx>{a, b, c});
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, b}));
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, b, c}));
+}
+
+TEST(ExplicitOracle, StructuralViolationsOverrideTable) {
+  ExplicitOracle oracle(2);
+  const Tx a{0, 1}, bad{1, 2};
+  oracle.allow_pair(a, bad);
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, bad}));
+}
+
+// ---------- ChannelOracle / MeasuredOracle ----------
+
+class OracleChannelTest : public ::testing::Test {
+ protected:
+  OracleChannelTest() {
+    // Line: n0 (30,0), n1 (60,0), n2 (90,0); head id 3 at origin.
+    std::vector<Vec2> pos = {{30, 0}, {60, 0}, {90, 0}, {0, 0}};
+    std::vector<double> pw = {RadioParams::kSensorTxPowerW,
+                              RadioParams::kSensorTxPowerW,
+                              RadioParams::kSensorTxPowerW,
+                              RadioParams::kHeadTxPowerW};
+    channel_ = std::make_unique<Channel>(sim_, prop_, RadioParams{}, pos, pw);
+  }
+  Simulator sim_;
+  TwoRayGround prop_;
+  std::unique_ptr<Channel> channel_;
+};
+
+TEST_F(OracleChannelTest, ChannelOracleMatchesConcurrentOutcome) {
+  ChannelOracle oracle(*channel_, 2);
+  // n2→n1 alone fine; together with n0→head the SINR at n1 collapses.
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{{2, 1}}));
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{{2, 1}, {0, 3}}));
+}
+
+TEST_F(OracleChannelTest, MeasuredOracleAgreesWithTruthOnUniverse) {
+  ChannelOracle truth(*channel_, 2);
+  const std::vector<Tx> universe = {{2, 1}, {1, 0}, {0, 3}};
+  MeasuredOracle measured(truth, universe, 2);
+  for (std::size_t i = 0; i < universe.size(); ++i)
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      const std::vector<Tx> g{universe[i], universe[j]};
+      EXPECT_EQ(measured.compatible(g), truth.compatible(g));
+    }
+}
+
+TEST_F(OracleChannelTest, MeasuredOracleUnknownGroupIncompatible) {
+  ChannelOracle truth(*channel_, 2);
+  MeasuredOracle measured(truth, std::vector<Tx>{{1, 0}}, 2);
+  // {2,1} was never probed.
+  EXPECT_FALSE(measured.compatible(std::vector<Tx>{{2, 1}, {1, 0}}));
+  // Singletons never need probing.
+  EXPECT_TRUE(measured.compatible(std::vector<Tx>{{2, 1}}));
+}
+
+TEST(MeasuredOracle, ProbeCountFormula) {
+  // C(10,2) = 45; C(10,2)+C(10,3) = 45+120 = 165.
+  EXPECT_EQ(MeasuredOracle::probe_count(10, 2), 45u);
+  EXPECT_EQ(MeasuredOracle::probe_count(10, 3), 165u);
+  // The paper's sectoring example: probing costs collapse with sector
+  // size — an 80-transmission universe needs C(80,2)+C(80,3) = 85'320
+  // groups, while 8 sectors of 10 need 8 × 165 = 1'320 (§IV).
+  EXPECT_EQ(MeasuredOracle::probe_count(80, 3), 85'320u);
+  EXPECT_EQ(8 * MeasuredOracle::probe_count(10, 3), 1'320u);
+}
+
+TEST_F(OracleChannelTest, ProbesCounterMatchesFormula) {
+  ChannelOracle truth(*channel_, 3);
+  const std::vector<Tx> universe = {{2, 1}, {1, 0}, {0, 3}, {1, 3}};
+  MeasuredOracle measured(truth, universe, 3);
+  EXPECT_EQ(measured.probes(), MeasuredOracle::probe_count(4, 3));
+}
+
+TEST(TransmissionsOfPaths, ExtractsHops) {
+  // {1,5} appears in both paths and is deduplicated.
+  const std::vector<std::vector<NodeId>> paths = {{2, 1, 5}, {1, 5}};
+  const auto txs = transmissions_of_paths(paths);
+  ASSERT_EQ(txs.size(), 2u);
+  EXPECT_TRUE(std::find(txs.begin(), txs.end(), Tx{2, 1}) != txs.end());
+  EXPECT_TRUE(std::find(txs.begin(), txs.end(), Tx{1, 5}) != txs.end());
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,106 @@
+// Joint routing + polling (§III-E): candidate enumeration and the exact
+// joint optimum vs the paper's decomposition.
+#include <gtest/gtest.h>
+
+#include "core/jmhrp.hpp"
+#include "net/deployment.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+/// Diamond: 2 → {0,1} → head.
+ClusterTopology diamond() {
+  Graph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  return ClusterTopology(std::move(g), {true, true, false});
+}
+
+TEST(CandidatePaths, EnumeratesSimplePathsShortestFirst) {
+  const auto topo = diamond();
+  const auto cands = candidate_paths(topo, 2, 4);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].size(), 3u);  // both 2-hop
+  EXPECT_EQ(cands[1].size(), 3u);
+  EXPECT_EQ(cands[0].front(), 2u);
+  EXPECT_EQ(cands[0].back(), topo.head());
+  EXPECT_NE(cands[0][1], cands[1][1]);  // distinct relays
+}
+
+TEST(CandidatePaths, FirstLevelSensorDirect) {
+  const auto topo = diamond();
+  const auto cands = candidate_paths(topo, 0, 4);
+  ASSERT_GE(cands.size(), 1u);
+  EXPECT_EQ(cands[0], (std::vector<NodeId>{0, topo.head()}));
+}
+
+TEST(CandidatePaths, RespectsCaps) {
+  // Dense clique of 5 + head hears all: many paths exist, cap to 3.
+  Graph g(5);
+  for (NodeId a = 0; a < 5; ++a)
+    for (NodeId b = a + 1; b < 5; ++b) g.add_edge(a, b);
+  ClusterTopology topo(std::move(g), {true, true, true, true, true});
+  EXPECT_LE(candidate_paths(topo, 0, 3).size(), 3u);
+}
+
+TEST(Jmhrp, ExactNeverWorseThanDecomposed) {
+  for (int trial = 0; trial < 10; ++trial) {
+    Rng rng(8800 + static_cast<std::uint64_t>(trial));
+    const std::size_t n = 4 + rng.below(3);
+    const Deployment dep =
+        deploy_connected_uniform_square(n, 130.0, 60.0, rng);
+    const ClusterTopology topo = disc_topology(dep, 60.0);
+
+    ExplicitOracle oracle(2);
+    std::vector<Tx> txs;
+    for (NodeId a = 0; a < n; ++a) {
+      if (topo.head_hears(a)) txs.push_back(Tx{a, topo.head()});
+      for (NodeId b : topo.sensor_links().neighbors(a))
+        txs.push_back(Tx{a, b});
+    }
+    for (std::size_t i = 0; i < txs.size(); ++i)
+      for (std::size_t j = i + 1; j < txs.size(); ++j)
+        if (rng.bernoulli(0.5)) oracle.allow_pair(txs[i], txs[j]);
+
+    const auto exact = solve_jmhrp_exact(topo, oracle);
+    const auto decomp = solve_jmhrp_decomposed(topo, oracle);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(decomp.has_value());
+    EXPECT_LE(exact->max_power_rate, decomp->max_power_rate + 1e-9);
+
+    // The joint result's schedule must be valid for its chosen paths.
+    std::vector<PollingRequest> reqs;
+    for (std::size_t i = 0; i < exact->paths.size(); ++i)
+      reqs.push_back({static_cast<RequestId>(i), exact->paths[i]});
+    EXPECT_TRUE(validate_schedule(reqs, exact->schedule, oracle).ok);
+  }
+}
+
+TEST(Jmhrp, BetaZeroReducesToPureLoadBalancing) {
+  const auto topo = diamond();
+  ExplicitOracle oracle(2);  // nothing concurrent: schedule is serial
+  JmhrpParams params{1.0, 0.0};
+  const auto exact = solve_jmhrp_exact(topo, oracle, params);
+  ASSERT_TRUE(exact.has_value());
+  // With β = 0 the optimum is the min-max load: 2 (sensor 2 sends 1,
+  // each gateway at most its own + maybe the relay).
+  EXPECT_DOUBLE_EQ(exact->max_power_rate, 2.0);
+}
+
+TEST(Jmhrp, LargeBetaPrefersShortSchedules) {
+  const auto topo = diamond();
+  // Allow 2's uplink to overlap the *other* gateway's own transmission.
+  ExplicitOracle oracle(2);
+  oracle.allow_pair(Tx{2, 0}, Tx{1, topo.head()});
+  JmhrpParams heavy{0.0, 1.0};  // only the polling time matters
+  const auto exact = solve_jmhrp_exact(topo, oracle, heavy);
+  ASSERT_TRUE(exact.has_value());
+  // Pipelining shaves one slot off the serial 4: route 2 via gateway 0
+  // and overlap with gateway 1's own packet.
+  EXPECT_EQ(exact->slots, 3u);
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/assertx.hpp"
+#include "net/cluster.hpp"
+#include "net/deployment.hpp"
+#include "net/graph.hpp"
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+// ---------- Graph ----------
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 2);  // duplicate ignored
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Graph, SelfLoopThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, BfsHops) {
+  Graph g(5);  // path 0-1-2-3, isolated 4
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = g.bfs_hops(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[4], Graph::kUnreachable);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, ConnectedDetection) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.connected());
+}
+
+// ---------- ClusterTopology ----------
+
+TEST(ClusterTopology, LevelsFromMultiSourceBfs) {
+  // 0 and 1 first level; 2 behind 0; 3 behind 2; 4 unreachable.
+  Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  ClusterTopology topo(std::move(g), {true, true, false, false, false});
+  EXPECT_EQ(topo.level(0), 1u);
+  EXPECT_EQ(topo.level(1), 1u);
+  EXPECT_EQ(topo.level(2), 2u);
+  EXPECT_EQ(topo.level(3), 3u);
+  EXPECT_EQ(topo.level(4), ClusterTopology::kUnreachable);
+  EXPECT_FALSE(topo.fully_connected());
+  EXPECT_EQ(topo.max_level(), 3u);
+  EXPECT_EQ(topo.first_level(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(topo.head(), 5u);
+}
+
+TEST(ClusterTopology, SizeMismatchThrows) {
+  Graph g(3);
+  EXPECT_THROW(ClusterTopology(std::move(g), {true, false}),
+               ContractViolation);
+}
+
+// ---------- Deployments ----------
+
+TEST(Deployment, UniformSquareBoundsAndHead) {
+  Rng rng(1);
+  const Deployment d = deploy_uniform_square(100, 200.0, rng);
+  EXPECT_EQ(d.num_sensors(), 100u);
+  EXPECT_EQ(d.head_pos(), (Vec2{0.0, 0.0}));
+  for (NodeId s = 0; s < 100; ++s) {
+    EXPECT_LE(std::abs(d.sensor_pos(s).x), 100.0);
+    EXPECT_LE(std::abs(d.sensor_pos(s).y), 100.0);
+  }
+}
+
+TEST(Deployment, GridIsDeterministicAndBounded) {
+  const Deployment a = deploy_grid(30, 100.0);
+  const Deployment b = deploy_grid(30, 100.0);
+  EXPECT_EQ(a.num_sensors(), 30u);
+  for (NodeId s = 0; s < 30; ++s) {
+    EXPECT_EQ(a.sensor_pos(s), b.sensor_pos(s));
+    EXPECT_LE(std::abs(a.sensor_pos(s).x), 50.0);
+  }
+}
+
+TEST(Deployment, RingsAreConcentric) {
+  const Deployment d = deploy_rings(3, 8, 40.0);
+  EXPECT_EQ(d.num_sensors(), 24u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t k = 0; k < 8; ++k) {
+      const double dist =
+          distance(d.sensor_pos(static_cast<NodeId>(r * 8 + k)),
+                   d.head_pos());
+      EXPECT_NEAR(dist, 40.0 * static_cast<double>(r + 1), 1e-9);
+    }
+}
+
+TEST(DiscTopology, LinksWithinRange) {
+  Deployment d;
+  d.positions = {{0, 0}, {50, 0}, {120, 0}, {0, 0}};  // head co-located w/ 0
+  const ClusterTopology topo = disc_topology(d, 60.0);
+  EXPECT_TRUE(topo.sensors_linked(0, 1));   // 50 m
+  EXPECT_FALSE(topo.sensors_linked(0, 2));  // 120 m
+  EXPECT_FALSE(topo.sensors_linked(1, 2));  // 70 m
+}
+
+TEST(DiscTopology, HeadHearsByUplinkRange) {
+  Deployment d;
+  d.positions = {{10, 0}, {60, 0}, {100, 0}, {0, 0}};
+  const ClusterTopology topo = disc_topology(d, 60.0);
+  EXPECT_TRUE(topo.head_hears(0));   // 10 m
+  EXPECT_TRUE(topo.head_hears(1));   // 60 m, boundary inclusive
+  EXPECT_FALSE(topo.head_hears(2));  // 100 m
+  EXPECT_EQ(topo.level(2), 2u);      // relays through sensor 1 (40 m)
+}
+
+TEST(TopologyFromPredicate, AsymmetricLinksDropped) {
+  // 0 hears 1 but 1 does not hear 0: no sensor link.
+  const auto topo = topology_from_predicate(2, [](NodeId a, NodeId b) {
+    if (a == 0 && b == 1) return false;
+    if (a == 1 && b == 0) return true;
+    return b == 2;  // everyone reaches the head
+  });
+  EXPECT_FALSE(topo.sensors_linked(0, 1));
+  EXPECT_TRUE(topo.head_hears(0));
+  EXPECT_TRUE(topo.head_hears(1));
+}
+
+TEST(ConnectedDeployment, AlwaysFullyConnected) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Deployment d =
+        deploy_connected_uniform_square(40, 200.0, 60.0, rng);
+    EXPECT_TRUE(disc_topology(d, 60.0).fully_connected());
+  }
+}
+
+// ---------- Frames ----------
+
+TEST(Frame, DescribeMentionsKindAndEndpoints) {
+  Frame f;
+  f.uid = 7;
+  f.kind = FrameKind::kControl;
+  f.src = 3;
+  f.dst = kBroadcast;
+  f.size_bytes = 16;
+  const std::string s = f.describe();
+  EXPECT_NE(s.find("control"), std::string::npos);
+  EXPECT_NE(s.find("#7"), std::string::npos);
+  EXPECT_NE(s.find("*"), std::string::npos);
+}
+
+TEST(FrameUidSource, MonotonicallyIncreasing) {
+  FrameUidSource uids;
+  const auto a = uids.next();
+  const auto b = uids.next();
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assertx.hpp"
+#include "radio/channel.hpp"
+#include "radio/energy.hpp"
+#include "radio/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace mhp {
+namespace {
+
+// ---------- Propagation ----------
+
+TEST(FreeSpace, InverseSquareDecay) {
+  FreeSpace fs;
+  const double p1 = fs.rx_power_w(1.0, {0, 0}, {10, 0});
+  const double p2 = fs.rx_power_w(1.0, {0, 0}, {20, 0});
+  EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
+}
+
+TEST(FreeSpace, ZeroDistanceReturnsTxPower) {
+  FreeSpace fs;
+  EXPECT_DOUBLE_EQ(fs.rx_power_w(0.7, {1, 1}, {1, 1}), 0.7);
+}
+
+TEST(TwoRayGround, MatchesFriisInsideCrossover) {
+  TwoRayGround tr;
+  FreeSpace fs;
+  const double d = tr.crossover_distance_m() * 0.5;
+  EXPECT_NEAR(tr.rx_power_w(1.0, {0, 0}, {d, 0}),
+              fs.rx_power_w(1.0, {0, 0}, {d, 0}), 1e-15);
+}
+
+TEST(TwoRayGround, FourthPowerDecayBeyondCrossover) {
+  TwoRayGround tr;
+  const double d = tr.crossover_distance_m() * 2.0;
+  const double p1 = tr.rx_power_w(1.0, {0, 0}, {d, 0});
+  const double p2 = tr.rx_power_w(1.0, {0, 0}, {2 * d, 0});
+  EXPECT_NEAR(p1 / p2, 16.0, 1e-9);
+}
+
+TEST(TwoRayGround, CrossoverDistanceFormula) {
+  TwoRayGround tr(914e6, 1.5);
+  const double lambda = 299792458.0 / 914e6;
+  EXPECT_NEAR(tr.crossover_distance_m(),
+              4.0 * M_PI * 1.5 * 1.5 / lambda, 1e-9);
+}
+
+TEST(LogDistanceShadowing, DeterministicPerPair) {
+  LogDistanceShadowing ls(3.0, 6.0, 1.0, 914e6, 42);
+  const double a = ls.rx_power_w(1.0, {0, 0}, {50, 20});
+  const double b = ls.rx_power_w(1.0, {0, 0}, {50, 20});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(LogDistanceShadowing, Symmetric) {
+  LogDistanceShadowing ls(3.0, 6.0, 1.0, 914e6, 42);
+  EXPECT_DOUBLE_EQ(ls.rx_power_w(1.0, {0, 0}, {50, 20}),
+                   ls.rx_power_w(1.0, {50, 20}, {0, 0}));
+}
+
+TEST(LogDistanceShadowing, EnvironmentSeedChangesCoverage) {
+  LogDistanceShadowing a(3.0, 6.0, 1.0, 914e6, 1);
+  LogDistanceShadowing b(3.0, 6.0, 1.0, 914e6, 2);
+  EXPECT_NE(a.rx_power_w(1.0, {0, 0}, {50, 20}),
+            b.rx_power_w(1.0, {0, 0}, {50, 20}));
+}
+
+TEST(LogDistanceShadowing, NonDiscCoverage) {
+  // With shadowing, equal distances can differ wildly in received power —
+  // the paper's "coverage area may not be a disc" point.
+  LogDistanceShadowing ls(3.0, 8.0, 1.0, 914e6, 7);
+  double lo = 1e300, hi = 0.0;
+  for (int k = 0; k < 32; ++k) {
+    const double theta = 2.0 * M_PI * k / 32.0;
+    const double p = ls.rx_power_w(
+        1.0, {0, 0}, {60.0 * std::cos(theta), 60.0 * std::sin(theta)});
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi / lo, 10.0);  // >10 dB spread around the circle
+}
+
+// ---------- Energy ----------
+
+TEST(EnergyModel, TypicalOrdering) {
+  const EnergyModel m = EnergyModel::typical_sensor();
+  EXPECT_GT(m.tx_w, m.rx_w);
+  EXPECT_GT(m.rx_w, m.idle_w * 0.99);
+  EXPECT_GT(m.idle_w, 100.0 * m.sleep_w);  // idle listening dominates sleep
+}
+
+TEST(EnergyMeter, AccumulatesPerState) {
+  EnergyMeter meter(EnergyModel{2.0, 1.0, 0.5, 0.1});
+  meter.accumulate(RadioState::kTx, Time::sec(2));
+  meter.accumulate(RadioState::kSleep, Time::sec(8));
+  EXPECT_DOUBLE_EQ(meter.energy_in_j(RadioState::kTx), 4.0);
+  EXPECT_DOUBLE_EQ(meter.energy_in_j(RadioState::kSleep), 0.8);
+  EXPECT_DOUBLE_EQ(meter.total_energy_j(), 4.8);
+  EXPECT_DOUBLE_EQ(meter.active_fraction(), 0.2);
+  EXPECT_DOUBLE_EQ(meter.average_power_w(), 0.48);
+}
+
+TEST(RadioTracker, TransitionsChargeElapsedState) {
+  RadioTracker t(EnergyModel{2.0, 1.0, 0.5, 0.1}, Time::zero(),
+                 RadioState::kIdle);
+  t.set_state(Time::sec(3), RadioState::kTx);
+  t.set_state(Time::sec(4), RadioState::kSleep);
+  t.settle(Time::sec(10));
+  EXPECT_EQ(t.meter().time_in(RadioState::kIdle), Time::sec(3));
+  EXPECT_EQ(t.meter().time_in(RadioState::kTx), Time::sec(1));
+  EXPECT_EQ(t.meter().time_in(RadioState::kSleep), Time::sec(6));
+}
+
+TEST(RadioTracker, ResetClearsMeter) {
+  RadioTracker t(EnergyModel::typical_sensor(), Time::zero(),
+                 RadioState::kIdle);
+  t.reset(Time::sec(5));
+  EXPECT_EQ(t.meter().total_time(), Time::zero());
+}
+
+// ---------- Channel ----------
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  // Three sensors in a line plus a far node; head at origin.
+  //   n0 at (30,0), n1 at (60,0), n2 at (90,0), head (id 3) at (0,0).
+  ChannelTest() {
+    positions_ = {{30, 0}, {60, 0}, {90, 0}, {0, 0}};
+    powers_ = {RadioParams::kSensorTxPowerW, RadioParams::kSensorTxPowerW,
+               RadioParams::kSensorTxPowerW, RadioParams::kHeadTxPowerW};
+    channel_ =
+        std::make_unique<Channel>(sim_, prop_, RadioParams{}, positions_,
+                                  powers_);
+  }
+
+  Simulator sim_;
+  TwoRayGround prop_;
+  std::vector<Vec2> positions_;
+  std::vector<double> powers_;
+  std::unique_ptr<Channel> channel_;
+};
+
+TEST_F(ChannelTest, AirtimeMatchesBandwidth) {
+  // 80 bytes at 200 kbps = 3.2 ms.
+  EXPECT_EQ(channel_->airtime(80), Time::us(3200));
+}
+
+TEST_F(ChannelTest, SensorRangeIsBounded) {
+  // Sensor Friis range at these powers is ≈61 m.
+  EXPECT_TRUE(channel_->link_ok(0, 1));  // 30 m
+  EXPECT_TRUE(channel_->link_ok(0, 2));  // 60 m: just inside
+  EXPECT_TRUE(channel_->link_ok(1, 0));  // symmetric powers → symmetric
+  // A 70 m sensor link is out of range.
+  Simulator sim;
+  TwoRayGround prop;
+  Channel far(sim, prop, RadioParams{}, {{0, 0}, {70, 0}},
+              {RadioParams::kSensorTxPowerW, RadioParams::kSensorTxPowerW});
+  EXPECT_FALSE(far.link_ok(0, 1));
+}
+
+TEST_F(ChannelTest, HeadReachesEveryone) {
+  for (NodeId s = 0; s < 3; ++s) EXPECT_TRUE(channel_->link_ok(3, s));
+}
+
+TEST_F(ChannelTest, ConcurrentOutcomeHalfDuplex) {
+  // n1 sends to n0 while n0 sends to head: n0 cannot receive.
+  const auto out = channel_->concurrent_outcome(
+      {{1, 0}, {0, 3}});
+  EXPECT_FALSE(out[0]);
+}
+
+TEST_F(ChannelTest, ConcurrentInterferenceBreaksWeakLink) {
+  // Alone, n2→n1 works (30 m).  With n0 also transmitting (30 m from n1),
+  // the SINR at n1 collapses.
+  const auto alone = channel_->concurrent_outcome({{2, 1}});
+  EXPECT_TRUE(alone[0]);
+  const auto jammed = channel_->concurrent_outcome({{2, 1}, {0, 3}});
+  EXPECT_FALSE(jammed[0]);
+}
+
+TEST_F(ChannelTest, DuplicateSenderRejected) {
+  EXPECT_THROW(channel_->concurrent_outcome({{0, 1}, {0, 3}}),
+               ContractViolation);
+}
+
+TEST(ChannelAccumulation, PairwiseCompatibleTripleCanFail) {
+  // The paper's Fig 3: three transmissions, pairwise fine, jointly broken.
+  // Three tight sender→receiver pairs placed far apart but with the middle
+  // receiver seeing *accumulated* interference from both other senders.
+  Simulator sim;
+  TwoRayGround prop;
+  RadioParams params;
+  // Three 55 m sender→receiver pairs at 30× sensor power.  Each outside
+  // sender is exactly 140 m from the middle receiver r1: a single
+  // interferer leaves SINR ≈ 17 (fine); the two together halve it to
+  // ≈ 8.5, below the 10× threshold.
+  std::vector<Vec2> pos = {
+      {195, 0}, {250, 0},   // s0 → r0
+      {0, 0},   {55, 0},    // s1 → r1 (the victim)
+      {55, 140}, {55, 195}, // s2 → r2
+  };
+  std::vector<double> pw(6, 30.0 * RadioParams::kSensorTxPowerW);
+  Channel ch(sim, prop, params, pos, pw);
+
+  std::vector<Channel::TxRx> pairs = {{0, 1}, {2, 3}, {4, 5}};
+  // All three pairwise combinations fine:
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      const auto out = ch.concurrent_outcome({pairs[i], pairs[j]});
+      ASSERT_TRUE(out[0] && out[1])
+          << "pair (" << i << "," << j << ") should be compatible";
+    }
+  // The triple fails at r1 (index 1 of the group): interference
+  // accumulates even though every pair was compatible.
+  const auto all = ch.concurrent_outcome(pairs);
+  EXPECT_FALSE(all[1]);
+}
+
+TEST_F(ChannelTest, TransmitDeliversToListeners) {
+  struct Sink : ChannelListener {
+    int begins = 0;
+    int ends = 0;
+    bool ok = false;
+    void on_frame_begin(const Frame&, NodeId, double, Time) override {
+      ++begins;
+    }
+    void on_frame_end(const Frame&, NodeId, bool phy_ok) override {
+      ++ends;
+      ok = phy_ok;
+    }
+  };
+  Sink sink;
+  channel_->set_listener(0, &sink);
+  Frame f;
+  f.uid = 1;
+  f.kind = FrameKind::kData;
+  f.src = 1;
+  f.dst = 0;
+  f.size_bytes = 80;
+  channel_->transmit(1, f);
+  sim_.run();
+  EXPECT_EQ(sink.begins, 1);
+  EXPECT_EQ(sink.ends, 1);
+  EXPECT_TRUE(sink.ok);
+  EXPECT_EQ(channel_->frames_transmitted(), 1u);
+}
+
+TEST_F(ChannelTest, OverlappingTransmissionsCorrupt) {
+  struct Sink : ChannelListener {
+    int good = 0, bad = 0;
+    void on_frame_end(const Frame&, NodeId, bool ok) override {
+      (ok ? good : bad)++;
+    }
+  };
+  Sink at1;
+  channel_->set_listener(1, &at1);
+  // n0 and n2 both 30 m from n1 transmit simultaneously to n1.
+  Frame a, b;
+  a.uid = 1, a.src = 0, a.dst = 1, a.size_bytes = 80;
+  b.uid = 2, b.src = 2, b.dst = 1, b.size_bytes = 80;
+  channel_->transmit(0, a);
+  channel_->transmit(2, b);
+  sim_.run();
+  EXPECT_EQ(at1.good, 0);
+  EXPECT_EQ(at1.bad, 2);
+}
+
+TEST_F(ChannelTest, CarrierSenseSeesActiveTransmission) {
+  EXPECT_FALSE(channel_->carrier_sensed(1));
+  Frame f;
+  f.uid = 1, f.src = 0, f.dst = 3, f.size_bytes = 80;
+  channel_->transmit(0, f);
+  // While in flight the field at n1 (30 m away) exceeds the CS threshold.
+  EXPECT_TRUE(channel_->carrier_sensed(1));
+  sim_.run();
+  EXPECT_FALSE(channel_->carrier_sensed(1));
+}
+
+TEST_F(ChannelTest, DoubleTransmitFromSameNodeThrows) {
+  Frame f;
+  f.uid = 1, f.src = 0, f.dst = 3, f.size_bytes = 80;
+  channel_->transmit(0, f);
+  Frame g = f;
+  g.uid = 2;
+  EXPECT_THROW(channel_->transmit(0, g), ContractViolation);
+  sim_.run();
+}
+
+}  // namespace
+}  // namespace mhp

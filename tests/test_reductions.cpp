@@ -1,0 +1,228 @@
+// Executable NP-hardness constructions: TSRFP ⇔ Hamiltonian Path,
+// X1MHP auxiliary branches, CPAR ⇔ Partition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/optimal_scheduler.hpp"
+#include "core/reductions.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+// ---------- TSRF structure ----------
+
+TEST(Tsrf, InstanceLayout) {
+  TsrfInstance inst{3};
+  EXPECT_EQ(inst.num_sensors(), 6u);
+  EXPECT_EQ(inst.head(), 6u);
+  EXPECT_EQ(inst.uplink(1), (Tx{3, 2}));
+  EXPECT_EQ(inst.relay(1), (Tx{2, 6}));
+  const auto topo = inst.topology();
+  EXPECT_TRUE(topo.fully_connected());
+  EXPECT_EQ(topo.level(0), 1u);
+  EXPECT_EQ(topo.level(1), 2u);
+  const auto reqs = inst.requests();
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].path, (std::vector<NodeId>{1, 0, 6}));
+}
+
+TEST(TsrfReduction, EdgeControlsCompatibility) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  TsrfReduction red(g);
+  // uplink(0) ∥ relay(1) allowed because (v0,v1) ∈ E.
+  EXPECT_TRUE(red.oracle.compatible(
+      std::vector<Tx>{red.instance.uplink(0), red.instance.relay(1)}));
+  EXPECT_TRUE(red.oracle.compatible(
+      std::vector<Tx>{red.instance.uplink(1), red.instance.relay(0)}));
+  // (v0,v2) ∉ E.
+  EXPECT_FALSE(red.oracle.compatible(
+      std::vector<Tx>{red.instance.uplink(0), red.instance.relay(2)}));
+  // Two uplinks never run together.
+  EXPECT_FALSE(red.oracle.compatible(
+      std::vector<Tx>{red.instance.uplink(0), red.instance.uplink(1)}));
+}
+
+// ---------- Hamiltonian path via TSRFP ----------
+
+void expect_is_ham_path(const Graph& g, const std::vector<NodeId>& order) {
+  ASSERT_EQ(order.size(), g.size());
+  std::vector<bool> seen(g.size(), false);
+  for (NodeId v : order) {
+    ASSERT_LT(v, g.size());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    EXPECT_TRUE(g.has_edge(order[i], order[i + 1]));
+}
+
+TEST(Hamiltonian, PathGraph) {
+  Graph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  const auto order = hamiltonian_path_via_tsrfp(g);
+  ASSERT_TRUE(order.has_value());
+  expect_is_ham_path(g, *order);
+}
+
+TEST(Hamiltonian, StarHasNoPathBeyondThreeLeaves) {
+  Graph g(4);  // star: centre 0, leaves 1..3 — no Hamiltonian path
+  for (NodeId leaf = 1; leaf < 4; ++leaf) g.add_edge(0, leaf);
+  EXPECT_FALSE(has_hamiltonian_path(g));
+  EXPECT_FALSE(hamiltonian_path_via_tsrfp(g).has_value());
+}
+
+TEST(Hamiltonian, CompleteGraph) {
+  Graph g(4);
+  for (NodeId i = 0; i < 4; ++i)
+    for (NodeId j = i + 1; j < 4; ++j) g.add_edge(i, j);
+  const auto order = hamiltonian_path_via_tsrfp(g);
+  ASSERT_TRUE(order.has_value());
+  expect_is_ham_path(g, *order);
+}
+
+TEST(Hamiltonian, TrivialSizes) {
+  Graph g0(0), g1(1);
+  EXPECT_TRUE(hamiltonian_path_via_tsrfp(g0).has_value());
+  EXPECT_TRUE(hamiltonian_path_via_tsrfp(g1).has_value());
+}
+
+class HamiltonianRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(HamiltonianRandom, ReductionAgreesWithDirectCheck) {
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + rng.below(4);  // 3..6 vertices
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j)
+      if (rng.bernoulli(0.45)) g.add_edge(i, j);
+
+  const bool direct = has_hamiltonian_path(g);
+  const auto via_tsrfp = hamiltonian_path_via_tsrfp(g);
+  EXPECT_EQ(direct, via_tsrfp.has_value());
+  if (via_tsrfp) expect_is_ham_path(g, *via_tsrfp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HamiltonianRandom, ::testing::Range(0, 20));
+
+// ---------- X1MHP ----------
+
+TEST(X1mhp, EverySensorHasExactlyOnePacket) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  TsrfReduction base(g);
+  X1mhpReduction red(base);
+  const auto reqs = red.instance.requests();
+  // 6 sensors per branch, one packet each.
+  EXPECT_EQ(reqs.size(), 3u * 6u);
+  std::vector<int> packets(3 * 6, 0);
+  for (const auto& r : reqs) {
+    ASSERT_GE(r.path.size(), 2u);
+    EXPECT_EQ(r.path.back(), red.instance.head);
+    packets[r.path.front()] += 1;
+  }
+  for (int p : packets) EXPECT_EQ(p, 1);
+}
+
+TEST(X1mhp, CarriesOverTsrfCompatibilities) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  TsrfReduction base(g);
+  X1mhpReduction red(base);
+  const auto& b0 = red.instance.layout[0];
+  const auto& b1 = red.instance.layout[1];
+  // Main-branch hand-off allowed because (v0,v1) ∈ E.
+  EXPECT_TRUE(red.oracle.compatible(std::vector<Tx>{
+      Tx{b0.s_prime, b0.s}, Tx{b1.s, red.instance.head}}));
+  // Auxiliary pairing inside a branch.
+  EXPECT_TRUE(red.oracle.compatible(std::vector<Tx>{
+      Tx{b0.u_dprime, b0.u_prime}, Tx{b0.s_prime, b0.s}}));
+  // Auxiliary transmissions of different branches never mix.
+  EXPECT_FALSE(red.oracle.compatible(std::vector<Tx>{
+      Tx{b0.u_dprime, b0.u_prime}, Tx{b1.u_dprime, b1.u_prime}}));
+}
+
+TEST(X1mhp, SingleBranchSolvable) {
+  Graph g(1);
+  TsrfReduction base(g);
+  X1mhpReduction red(base);
+  const auto reqs = red.instance.requests();
+  OptimalScheduler solver(red.oracle);
+  const auto result = solver.solve(reqs);
+  ASSERT_TRUE(result.has_value());
+  // 13 transmissions; the two allowed pairings can overlap at most three
+  // slots (s'→s once, s→t twice) → at least 10 slots.
+  EXPECT_GE(result->slots, 10u);
+  EXPECT_LE(result->slots, 13u);
+  EXPECT_TRUE(validate_schedule(reqs, result->schedule, red.oracle).ok);
+}
+
+// ---------- CPAR ⇔ Partition ----------
+
+TEST(Cpar, InstanceLayout) {
+  CparInstance inst({3, 2, 1, 2});
+  EXPECT_EQ(inst.topology.num_sensors(), 2u + 8u);
+  EXPECT_TRUE(inst.topology.head_hears(0));
+  EXPECT_TRUE(inst.topology.head_hears(1));
+  for (NodeId s = 2; s < inst.topology.num_sensors(); ++s)
+    EXPECT_FALSE(inst.topology.head_hears(s));
+  // Chain heads link to both gateways.
+  EXPECT_TRUE(inst.topology.sensors_linked(2, 0));
+  EXPECT_TRUE(inst.topology.sensors_linked(2, 1));
+  EXPECT_EQ(inst.chain_of[2], 0);
+  EXPECT_EQ(inst.chain_of[5], 1);
+  EXPECT_TRUE(inst.topology.fully_connected());
+}
+
+TEST(Cpar, SolvableInstances) {
+  for (const auto& ints : std::vector<std::vector<std::int64_t>>{
+           {3, 2, 1, 2}, {1, 1}, {5, 5}, {4, 3, 2, 1, 2}}) {
+    CparInstance inst(ints);
+    const auto sol = partition_via_cpar(inst);
+    ASSERT_TRUE(sol.has_value()) << "should be partitionable";
+    std::int64_t a = 0, total = 0;
+    for (auto v : ints) total += v;
+    for (std::size_t i : *sol) a += ints[i];
+    EXPECT_EQ(2 * a, total);
+  }
+}
+
+TEST(Cpar, UnsolvableInstances) {
+  for (const auto& ints : std::vector<std::vector<std::int64_t>>{
+           {1, 1, 1}, {5, 3}, {2, 4, 16}}) {
+    CparInstance inst(ints);
+    EXPECT_FALSE(partition_via_cpar(inst).has_value());
+  }
+}
+
+class CparRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CparRandom, AgreesWithSubsetSum) {
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::int64_t> ints(3 + rng.below(5));
+  std::int64_t total = 0;
+  for (auto& v : ints) {
+    v = 1 + static_cast<std::int64_t>(rng.below(8));
+    total += v;
+  }
+  // Direct subset-sum check.
+  bool possible = false;
+  if (total % 2 == 0) {
+    std::vector<bool> reach(static_cast<std::size_t>(total / 2 + 1), false);
+    reach[0] = true;
+    for (auto v : ints)
+      for (std::int64_t s = total / 2; s >= v; --s)
+        if (reach[static_cast<std::size_t>(s - v)])
+          reach[static_cast<std::size_t>(s)] = true;
+    possible = reach[static_cast<std::size_t>(total / 2)];
+  }
+  CparInstance inst(ints);
+  EXPECT_EQ(partition_via_cpar(inst).has_value(), possible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CparRandom, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,109 @@
+// RelayPlan: rotation, one-hop tables, dependents.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/routing.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+namespace {
+
+/// Diamond topology: sensor 2 reaches the head via gateways 0 and 1.
+ClusterTopology diamond() {
+  Graph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  return ClusterTopology(std::move(g), {true, true, false});
+}
+
+TEST(RelayPlan, BalancedWrapsSolution) {
+  const auto topo = diamond();
+  const RelayPlan plan = RelayPlan::balanced(topo, {1, 1, 2});
+  EXPECT_EQ(plan.max_load(), 2);
+  EXPECT_EQ(plan.num_sensors(), 3u);
+  EXPECT_EQ(plan.load(2), 2);
+}
+
+TEST(RelayPlan, InfeasibleThrows) {
+  Graph g(2);
+  ClusterTopology topo(std::move(g), {true, false});
+  EXPECT_THROW(RelayPlan::balanced(topo, {1, 1}), ContractViolation);
+}
+
+TEST(RelayPlan, RotationProportionalToUnits) {
+  const auto topo = diamond();
+  // Sensor 2 sends 3 packets per cycle and each gateway one of its own:
+  // δ* = 3 forces a 2+1 split across the gateways.
+  const RelayPlan plan = RelayPlan::balanced(topo, {1, 1, 3});
+  const auto& paths = plan.paths(2);
+  ASSERT_EQ(paths.size(), 2u);
+  const std::int64_t window = paths[0].units + paths[1].units;
+  EXPECT_EQ(window, 3);
+
+  // Over one window each path is used `units` times (§V-D).
+  std::map<std::vector<NodeId>, int> uses;
+  for (std::uint64_t c = 0; c < static_cast<std::uint64_t>(window); ++c)
+    uses[plan.path_for_cycle(2, c).hops] += 1;
+  for (const auto& p : paths)
+    EXPECT_EQ(uses[p.hops], static_cast<int>(p.units));
+
+  // Rotation is periodic.
+  EXPECT_EQ(plan.path_for_cycle(2, 0).hops,
+            plan.path_for_cycle(2, static_cast<std::uint64_t>(window)).hops);
+}
+
+TEST(RelayPlan, SinglePathSensorAlwaysSame) {
+  const auto topo = diamond();
+  const RelayPlan plan = RelayPlan::balanced(topo, {1, 1, 1});
+  for (std::uint64_t c = 0; c < 5; ++c)
+    EXPECT_EQ(plan.path_for_cycle(0, c).hops,
+              (std::vector<NodeId>{0, topo.head()}));
+}
+
+TEST(RelayPlan, ZeroDemandSensorHasNoPath) {
+  const auto topo = diamond();
+  const RelayPlan plan = RelayPlan::balanced(topo, {1, 1, 0});
+  EXPECT_TRUE(plan.paths(2).empty());
+  EXPECT_THROW(plan.path_for_cycle(2, 0), ContractViolation);
+}
+
+TEST(RelayPlan, OneHopTableListsDependents) {
+  // Chain: 2 → 1 → 0 → head.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ClusterTopology topo(std::move(g), {true, false, false});
+  const RelayPlan plan = RelayPlan::balanced(topo, {1, 1, 1});
+
+  // Relay 0 forwards packets of 1 and 2 to the head.
+  const auto table0 = plan.one_hop_table(0, 0);
+  ASSERT_EQ(table0.size(), 2u);
+  EXPECT_EQ(table0.at(1), topo.head());
+  EXPECT_EQ(table0.at(2), topo.head());
+
+  // Relay 1 forwards sensor 2's packets to 0.
+  const auto table1 = plan.one_hop_table(1, 0);
+  ASSERT_EQ(table1.size(), 1u);
+  EXPECT_EQ(table1.at(2), 0u);
+
+  // Leaf 2 relays nobody.
+  EXPECT_TRUE(plan.one_hop_table(2, 0).empty());
+
+  const auto deps0 = plan.dependents(0, 0);
+  EXPECT_EQ(deps0, (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(plan.dependents(2, 0), std::vector<NodeId>{});
+}
+
+TEST(RelayPlan, ShortestMatchesLevels) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ClusterTopology topo(std::move(g), {true, false, false});
+  const RelayPlan plan = RelayPlan::shortest(topo, {1, 1, 1});
+  EXPECT_EQ(plan.paths(2)[0].hops.size(), 4u);  // 2→1→0→head
+  EXPECT_EQ(plan.load(0), 3);
+}
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,190 @@
+// Sector partitioning heuristic (§IV-B): flow merging, branch pairing,
+// pseudo power rates.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/sectors.hpp"
+#include "net/deployment.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+void expect_valid_partition(const ClusterTopology& topo,
+                            const SectorPartition& p) {
+  const std::size_t n = topo.num_sensors();
+  // Every sensor in exactly one sector.
+  std::vector<int> count(n, 0);
+  for (const auto& sec : p.sectors)
+    for (NodeId s : sec.sensors) count[s] += 1;
+  for (NodeId s = 0; s < n; ++s) {
+    EXPECT_EQ(count[s], 1) << "sensor " << s;
+    EXPECT_GE(p.sector_of[s], 0);
+    EXPECT_LT(p.sector_of[s], static_cast<int>(p.sectors.size()));
+  }
+  // The relay tree is acyclic and reaches the head over topology links.
+  for (NodeId s = 0; s < n; ++s) {
+    std::size_t steps = 0;
+    NodeId v = s;
+    while (v != topo.head()) {
+      const NodeId parent = p.parent[v];
+      ASSERT_NE(parent, kNoNode);
+      if (parent == topo.head())
+        EXPECT_TRUE(topo.head_hears(v));
+      else
+        EXPECT_TRUE(topo.sensors_linked(v, parent));
+      v = parent;
+      ASSERT_LE(++steps, n) << "cycle in relay tree";
+    }
+  }
+  // Gateways are exactly the tree roots of each sector.
+  for (std::size_t k = 0; k < p.sectors.size(); ++k) {
+    EXPECT_GE(p.sectors[k].gateways.size(), 1u);
+    EXPECT_LE(p.sectors[k].gateways.size(), 2u);
+    for (NodeId g : p.sectors[k].gateways) {
+      EXPECT_EQ(p.parent[g], topo.head());
+      EXPECT_EQ(p.sector_of[g], static_cast<int>(k));
+    }
+  }
+  // A sensor's whole tree path stays inside its sector (dependents sleep
+  // and wake together).
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId v = s; v != topo.head(); v = p.parent[v])
+      EXPECT_EQ(p.sector_of[v], p.sector_of[s]);
+}
+
+TEST(Sectors, ChainBecomesOneBranchSector) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ClusterTopology topo(std::move(g), {true, false, false});
+  const std::vector<std::int64_t> demand = {1, 1, 1};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.partition(plan, demand);
+  expect_valid_partition(topo, part);
+  EXPECT_EQ(part.sectors.size(), 1u);
+  EXPECT_EQ(part.tree_load[0], 3);
+  EXPECT_EQ(part.tree_load[1], 2);
+  EXPECT_EQ(part.tree_load[2], 1);
+}
+
+TEST(Sectors, IndependentBranchesBecomeSectors) {
+  // Two disjoint chains: 0-2 and 1-3 (0, 1 first level), no cross links →
+  // pairing rule (i) fails, so two sectors remain.
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  ClusterTopology topo(std::move(g), {true, true, false, false});
+  const std::vector<std::int64_t> demand = {1, 1, 1, 1};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.partition(plan, demand);
+  expect_valid_partition(topo, part);
+  EXPECT_EQ(part.sectors.size(), 2u);
+}
+
+TEST(Sectors, LinkedBranchesPairUp) {
+  // Two chains with a cross link between their tails → one paired sector.
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);  // cross link enables rule (i)
+  ClusterTopology topo(std::move(g), {true, true, false, false});
+  const std::vector<std::int64_t> demand = {1, 1, 1, 1};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.partition(plan, demand);
+  expect_valid_partition(topo, part);
+  EXPECT_EQ(part.sectors.size(), 1u);
+  EXPECT_EQ(part.sectors[0].gateways.size(), 2u);
+}
+
+TEST(Sectors, FlowMergingResolvesSplits) {
+  // Diamond: sensor 2 splits flow across gateways 0 and 1; the merged
+  // tree must give it exactly one parent.
+  Graph g(3);
+  g.add_edge(2, 0);
+  g.add_edge(2, 1);
+  ClusterTopology topo(std::move(g), {true, true, false});
+  const std::vector<std::int64_t> demand = {1, 1, 2};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.partition(plan, demand);
+  expect_valid_partition(topo, part);
+  EXPECT_TRUE(part.parent[2] == 0 || part.parent[2] == 1);
+}
+
+TEST(Sectors, SingleSectorCoversEverything) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ClusterTopology topo(std::move(g), {true, false, false});
+  const std::vector<std::int64_t> demand = {1, 1, 1};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.single_sector(plan, demand);
+  EXPECT_EQ(part.sectors.size(), 1u);
+  EXPECT_EQ(part.sectors[0].sensors.size(), 3u);
+}
+
+TEST(Sectors, PseudoRateComputation) {
+  // Chain of 3: worst sensor is the gateway with load 3, sector size 3 →
+  // ρ' = α·3 + β·3.
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  ClusterTopology topo(std::move(g), {true, false, false});
+  const std::vector<std::int64_t> demand = {1, 1, 1};
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo, SectorParams{2.0, 1.0, 2});
+  const auto part = sp.partition(plan, demand);
+  EXPECT_DOUBLE_EQ(sp.max_pseudo_rate(part), 2.0 * 3 + 1.0 * 3);
+}
+
+TEST(Sectors, SectoringReducesPseudoRateOnRings) {
+  // A ring deployment has many independent first-level branches; sectored
+  // pseudo rates (small sector sizes) beat the single-sector baseline.
+  const Deployment dep = deploy_rings(3, 8, 40.0);
+  const ClusterTopology topo = disc_topology(dep, 60.0);
+  ASSERT_TRUE(topo.fully_connected());
+  std::vector<std::int64_t> demand(topo.num_sensors(), 1);
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto sectored = sp.partition(plan, demand);
+  const auto single = sp.single_sector(plan, demand);
+  expect_valid_partition(topo, sectored);
+  EXPECT_GT(sectored.sectors.size(), 1u);
+  EXPECT_LT(sp.max_pseudo_rate(sectored), sp.max_pseudo_rate(single));
+}
+
+class SectorsOnRandomClusters : public ::testing::TestWithParam<int> {};
+
+TEST_P(SectorsOnRandomClusters, PartitionAlwaysValid) {
+  Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 8 + rng.below(30);
+  const Deployment dep =
+      deploy_connected_uniform_square(n, 200.0, 60.0, rng);
+  const ClusterTopology topo = disc_topology(dep, 60.0);
+  std::vector<std::int64_t> demand(n);
+  for (auto& d : demand) d = 1 + static_cast<std::int64_t>(rng.below(3));
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  SectorPartitioner sp(topo);
+  const auto part = sp.partition(plan, demand);
+  expect_valid_partition(topo, part);
+  // Tree loads are consistent: root loads sum to total demand.
+  std::int64_t total = std::accumulate(demand.begin(), demand.end(),
+                                       std::int64_t{0});
+  std::int64_t roots = 0;
+  for (NodeId s = 0; s < n; ++s)
+    if (part.parent[s] == topo.head()) roots += part.tree_load[s];
+  EXPECT_EQ(roots, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SectorsOnRandomClusters,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace mhp

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/set_cover.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+bool covers(std::size_t universe, const std::vector<WeightedSubset>& subsets,
+            const SetCoverResult& r) {
+  std::vector<bool> got(universe, false);
+  for (std::size_t i : r.chosen)
+    for (std::size_t e : subsets[i].elements) got[e] = true;
+  for (bool b : got)
+    if (!b) return false;
+  return true;
+}
+
+TEST(GreedyCover, CoversSimpleInstance) {
+  const std::vector<WeightedSubset> subsets = {
+      {{0, 1, 2}, 3.0}, {{2, 3}, 1.0}, {{3, 4}, 1.0}, {{0, 4}, 1.0}};
+  const auto r = greedy_set_cover(5, subsets);
+  EXPECT_TRUE(r.covered);
+  EXPECT_TRUE(covers(5, subsets, r));
+}
+
+TEST(GreedyCover, PrefersCheapPerElement) {
+  // One big costly subset vs many cheap singletons: covering cost picks
+  // the big one when it is cheaper per element.
+  const std::vector<WeightedSubset> subsets = {
+      {{0, 1, 2, 3}, 2.0},  // 0.5 per element
+      {{0}, 1.0},
+      {{1}, 1.0},
+      {{2}, 1.0},
+      {{3}, 1.0}};
+  const auto r = greedy_set_cover(4, subsets);
+  ASSERT_EQ(r.chosen.size(), 1u);
+  EXPECT_EQ(r.chosen[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+}
+
+TEST(GreedyCover, ReportsUncoverable) {
+  const std::vector<WeightedSubset> subsets = {{{0}, 1.0}};
+  const auto r = greedy_set_cover(2, subsets);
+  EXPECT_FALSE(r.covered);
+}
+
+TEST(GreedyCover, EmptyUniverseTrivial) {
+  const auto r = greedy_set_cover(0, {});
+  EXPECT_TRUE(r.covered);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(GreedyCover, ZeroCostSubsetsTakenFreely) {
+  const std::vector<WeightedSubset> subsets = {{{0, 1}, 0.0}, {{1}, 5.0}};
+  const auto r = greedy_set_cover(2, subsets);
+  EXPECT_TRUE(r.covered);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(ExactCover, FindsOptimum) {
+  const std::vector<WeightedSubset> subsets = {
+      {{0, 1}, 2.0}, {{1, 2}, 2.0}, {{0, 1, 2}, 3.5}, {{2}, 0.5}};
+  const auto r = exact_set_cover(3, subsets);
+  EXPECT_TRUE(r.covered);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.5);  // {0,1} + {2}
+}
+
+TEST(ExactCover, Uncoverable) {
+  const auto r = exact_set_cover(2, {{{0}, 1.0}});
+  EXPECT_FALSE(r.covered);
+}
+
+class GreedyVsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyVsExact, ApproximationWithinHarmonicBound) {
+  Rng rng(7000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t universe = 4 + rng.below(8);
+  const std::size_t count = 4 + rng.below(8);
+  std::vector<WeightedSubset> subsets(count);
+  for (auto& s : subsets) {
+    const std::size_t size = 1 + rng.below(universe);
+    for (std::size_t k = 0; k < size; ++k)
+      s.elements.push_back(rng.below(universe));
+    s.cost = 1.0 + rng.uniform(0.0, 5.0);
+  }
+  // Ensure coverability: one subset with everything, expensive.
+  WeightedSubset all;
+  for (std::size_t e = 0; e < universe; ++e) all.elements.push_back(e);
+  all.cost = 20.0;
+  subsets.push_back(all);
+
+  const auto greedy = greedy_set_cover(universe, subsets);
+  const auto exact = exact_set_cover(universe, subsets);
+  ASSERT_TRUE(greedy.covered);
+  ASSERT_TRUE(exact.covered);
+  EXPECT_TRUE(covers(universe, subsets, greedy));
+  // H(n) approximation guarantee.
+  double harmonic = 0.0;
+  for (std::size_t k = 1; k <= universe; ++k)
+    harmonic += 1.0 / static_cast<double>(k);
+  EXPECT_LE(greedy.total_cost, exact.total_cost * harmonic + 1e-9);
+  EXPECT_GE(greedy.total_cost, exact.total_cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyVsExact, ::testing::Range(0, 25));
+
+TEST(GreedyCover, RejectsBadInputs) {
+  EXPECT_THROW(greedy_set_cover(2, {{{5}, 1.0}}), ContractViolation);
+  EXPECT_THROW(greedy_set_cover(2, {{{0}, -1.0}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mhp
