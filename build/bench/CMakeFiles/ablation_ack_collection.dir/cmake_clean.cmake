@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ack_collection.dir/ablation_ack_collection.cpp.o"
+  "CMakeFiles/ablation_ack_collection.dir/ablation_ack_collection.cpp.o.d"
+  "ablation_ack_collection"
+  "ablation_ack_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ack_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

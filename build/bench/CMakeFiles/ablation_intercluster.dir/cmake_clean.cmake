@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_intercluster.dir/ablation_intercluster.cpp.o"
+  "CMakeFiles/ablation_intercluster.dir/ablation_intercluster.cpp.o.d"
+  "ablation_intercluster"
+  "ablation_intercluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_intercluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_m_order.cpp" "bench/CMakeFiles/ablation_m_order.dir/ablation_m_order.cpp.o" "gcc" "bench/CMakeFiles/ablation_m_order.dir/ablation_m_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mhp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mhp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mhp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mhp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_m_order.dir/ablation_m_order.cpp.o"
+  "CMakeFiles/ablation_m_order.dir/ablation_m_order.cpp.o.d"
+  "ablation_m_order"
+  "ablation_m_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_m_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

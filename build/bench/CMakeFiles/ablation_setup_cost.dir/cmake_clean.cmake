@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_setup_cost.dir/ablation_setup_cost.cpp.o"
+  "CMakeFiles/ablation_setup_cost.dir/ablation_setup_cost.cpp.o.d"
+  "ablation_setup_cost"
+  "ablation_setup_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_setup_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_model.dir/capacity_model.cpp.o"
+  "CMakeFiles/capacity_model.dir/capacity_model.cpp.o.d"
+  "capacity_model"
+  "capacity_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_active_time.dir/fig7a_active_time.cpp.o"
+  "CMakeFiles/fig7a_active_time.dir/fig7a_active_time.cpp.o.d"
+  "fig7a_active_time"
+  "fig7a_active_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_active_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_throughput.dir/fig7b_throughput.cpp.o"
+  "CMakeFiles/fig7b_throughput.dir/fig7b_throughput.cpp.o.d"
+  "fig7b_throughput"
+  "fig7b_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_sector_lifetime.dir/fig7c_sector_lifetime.cpp.o"
+  "CMakeFiles/fig7c_sector_lifetime.dir/fig7c_sector_lifetime.cpp.o.d"
+  "fig7c_sector_lifetime"
+  "fig7c_sector_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_sector_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

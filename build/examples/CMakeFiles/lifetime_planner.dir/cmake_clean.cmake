@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_planner.dir/lifetime_planner.cpp.o"
+  "CMakeFiles/lifetime_planner.dir/lifetime_planner.cpp.o.d"
+  "lifetime_planner"
+  "lifetime_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

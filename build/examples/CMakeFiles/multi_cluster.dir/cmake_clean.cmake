@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_cluster.dir/multi_cluster.cpp.o"
+  "CMakeFiles/multi_cluster.dir/multi_cluster.cpp.o.d"
+  "multi_cluster"
+  "multi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_hardness_tour.dir/np_hardness_tour.cpp.o"
+  "CMakeFiles/np_hardness_tour.dir/np_hardness_tour.cpp.o.d"
+  "np_hardness_tour"
+  "np_hardness_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_hardness_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/aodv.cpp" "src/baseline/CMakeFiles/mhp_baseline.dir/aodv.cpp.o" "gcc" "src/baseline/CMakeFiles/mhp_baseline.dir/aodv.cpp.o.d"
+  "/root/repo/src/baseline/smac_node.cpp" "src/baseline/CMakeFiles/mhp_baseline.dir/smac_node.cpp.o" "gcc" "src/baseline/CMakeFiles/mhp_baseline.dir/smac_node.cpp.o.d"
+  "/root/repo/src/baseline/smac_simulation.cpp" "src/baseline/CMakeFiles/mhp_baseline.dir/smac_simulation.cpp.o" "gcc" "src/baseline/CMakeFiles/mhp_baseline.dir/smac_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mhp_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_baseline.dir/aodv.cpp.o"
+  "CMakeFiles/mhp_baseline.dir/aodv.cpp.o.d"
+  "CMakeFiles/mhp_baseline.dir/smac_node.cpp.o"
+  "CMakeFiles/mhp_baseline.dir/smac_node.cpp.o.d"
+  "CMakeFiles/mhp_baseline.dir/smac_simulation.cpp.o"
+  "CMakeFiles/mhp_baseline.dir/smac_simulation.cpp.o.d"
+  "libmhp_baseline.a"
+  "libmhp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ack_collection.cpp" "src/core/CMakeFiles/mhp_core.dir/ack_collection.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/ack_collection.cpp.o.d"
+  "/root/repo/src/core/capacity.cpp" "src/core/CMakeFiles/mhp_core.dir/capacity.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/capacity.cpp.o.d"
+  "/root/repo/src/core/coloring.cpp" "src/core/CMakeFiles/mhp_core.dir/coloring.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/coloring.cpp.o.d"
+  "/root/repo/src/core/greedy_scheduler.cpp" "src/core/CMakeFiles/mhp_core.dir/greedy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/core/head_agent.cpp" "src/core/CMakeFiles/mhp_core.dir/head_agent.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/head_agent.cpp.o.d"
+  "/root/repo/src/core/interference.cpp" "src/core/CMakeFiles/mhp_core.dir/interference.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/interference.cpp.o.d"
+  "/root/repo/src/core/jmhrp.cpp" "src/core/CMakeFiles/mhp_core.dir/jmhrp.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/jmhrp.cpp.o.d"
+  "/root/repo/src/core/multi_cluster_sim.cpp" "src/core/CMakeFiles/mhp_core.dir/multi_cluster_sim.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/multi_cluster_sim.cpp.o.d"
+  "/root/repo/src/core/optimal_scheduler.cpp" "src/core/CMakeFiles/mhp_core.dir/optimal_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/optimal_scheduler.cpp.o.d"
+  "/root/repo/src/core/polling_simulation.cpp" "src/core/CMakeFiles/mhp_core.dir/polling_simulation.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/polling_simulation.cpp.o.d"
+  "/root/repo/src/core/reductions.cpp" "src/core/CMakeFiles/mhp_core.dir/reductions.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/reductions.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/core/CMakeFiles/mhp_core.dir/routing.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/routing.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/mhp_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/sectors.cpp" "src/core/CMakeFiles/mhp_core.dir/sectors.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/sectors.cpp.o.d"
+  "/root/repo/src/core/sensor_agent.cpp" "src/core/CMakeFiles/mhp_core.dir/sensor_agent.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/sensor_agent.cpp.o.d"
+  "/root/repo/src/core/set_cover.cpp" "src/core/CMakeFiles/mhp_core.dir/set_cover.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/set_cover.cpp.o.d"
+  "/root/repo/src/core/setup_phase.cpp" "src/core/CMakeFiles/mhp_core.dir/setup_phase.cpp.o" "gcc" "src/core/CMakeFiles/mhp_core.dir/setup_phase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mhp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mhp_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow_network.cpp" "src/flow/CMakeFiles/mhp_flow.dir/flow_network.cpp.o" "gcc" "src/flow/CMakeFiles/mhp_flow.dir/flow_network.cpp.o.d"
+  "/root/repo/src/flow/max_flow.cpp" "src/flow/CMakeFiles/mhp_flow.dir/max_flow.cpp.o" "gcc" "src/flow/CMakeFiles/mhp_flow.dir/max_flow.cpp.o.d"
+  "/root/repo/src/flow/min_max_load.cpp" "src/flow/CMakeFiles/mhp_flow.dir/min_max_load.cpp.o" "gcc" "src/flow/CMakeFiles/mhp_flow.dir/min_max_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_flow.dir/flow_network.cpp.o"
+  "CMakeFiles/mhp_flow.dir/flow_network.cpp.o.d"
+  "CMakeFiles/mhp_flow.dir/max_flow.cpp.o"
+  "CMakeFiles/mhp_flow.dir/max_flow.cpp.o.d"
+  "CMakeFiles/mhp_flow.dir/min_max_load.cpp.o"
+  "CMakeFiles/mhp_flow.dir/min_max_load.cpp.o.d"
+  "libmhp_flow.a"
+  "libmhp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_metrics.dir/lifetime.cpp.o"
+  "CMakeFiles/mhp_metrics.dir/lifetime.cpp.o.d"
+  "libmhp_metrics.a"
+  "libmhp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

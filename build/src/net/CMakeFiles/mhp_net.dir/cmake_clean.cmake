@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_net.dir/cluster.cpp.o"
+  "CMakeFiles/mhp_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/mhp_net.dir/deployment.cpp.o"
+  "CMakeFiles/mhp_net.dir/deployment.cpp.o.d"
+  "CMakeFiles/mhp_net.dir/graph.cpp.o"
+  "CMakeFiles/mhp_net.dir/graph.cpp.o.d"
+  "CMakeFiles/mhp_net.dir/packet.cpp.o"
+  "CMakeFiles/mhp_net.dir/packet.cpp.o.d"
+  "libmhp_net.a"
+  "libmhp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

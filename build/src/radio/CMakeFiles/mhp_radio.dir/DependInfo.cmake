@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/mhp_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/mhp_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/energy.cpp" "src/radio/CMakeFiles/mhp_radio.dir/energy.cpp.o" "gcc" "src/radio/CMakeFiles/mhp_radio.dir/energy.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/mhp_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/mhp_radio.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

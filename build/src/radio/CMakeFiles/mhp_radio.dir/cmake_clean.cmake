@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_radio.dir/channel.cpp.o"
+  "CMakeFiles/mhp_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/mhp_radio.dir/energy.cpp.o"
+  "CMakeFiles/mhp_radio.dir/energy.cpp.o.d"
+  "CMakeFiles/mhp_radio.dir/propagation.cpp.o"
+  "CMakeFiles/mhp_radio.dir/propagation.cpp.o.d"
+  "libmhp_radio.a"
+  "libmhp_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mhp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mhp_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mhp_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mhp_sim.dir/time.cpp.o"
+  "CMakeFiles/mhp_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mhp_sim.dir/trace.cpp.o"
+  "CMakeFiles/mhp_sim.dir/trace.cpp.o.d"
+  "libmhp_sim.a"
+  "libmhp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

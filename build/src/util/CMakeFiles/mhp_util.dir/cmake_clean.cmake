@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhp_util.dir/rng.cpp.o"
+  "CMakeFiles/mhp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mhp_util.dir/stats.cpp.o"
+  "CMakeFiles/mhp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mhp_util.dir/table.cpp.o"
+  "CMakeFiles/mhp_util.dir/table.cpp.o.d"
+  "CMakeFiles/mhp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mhp_util.dir/thread_pool.cpp.o.d"
+  "libmhp_util.a"
+  "libmhp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

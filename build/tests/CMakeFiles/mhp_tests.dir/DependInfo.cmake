@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ack_coloring.cpp" "tests/CMakeFiles/mhp_tests.dir/test_ack_coloring.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_ack_coloring.cpp.o.d"
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/mhp_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_capacity.cpp" "tests/CMakeFiles/mhp_tests.dir/test_capacity.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_capacity.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/mhp_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/mhp_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_interference.cpp" "tests/CMakeFiles/mhp_tests.dir/test_interference.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_interference.cpp.o.d"
+  "/root/repo/tests/test_jmhrp.cpp" "tests/CMakeFiles/mhp_tests.dir/test_jmhrp.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_jmhrp.cpp.o.d"
+  "/root/repo/tests/test_multi_cluster.cpp" "tests/CMakeFiles/mhp_tests.dir/test_multi_cluster.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_multi_cluster.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/mhp_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/mhp_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/mhp_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_reductions.cpp" "tests/CMakeFiles/mhp_tests.dir/test_reductions.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_reductions.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/mhp_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/mhp_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/mhp_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sectors.cpp" "tests/CMakeFiles/mhp_tests.dir/test_sectors.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_sectors.cpp.o.d"
+  "/root/repo/tests/test_set_cover.cpp" "tests/CMakeFiles/mhp_tests.dir/test_set_cover.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_set_cover.cpp.o.d"
+  "/root/repo/tests/test_setup_phase.cpp" "tests/CMakeFiles/mhp_tests.dir/test_setup_phase.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_setup_phase.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/mhp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/mhp_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/mhp_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mhp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mhp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mhp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mhp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mhp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mhp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mhp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mhp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
