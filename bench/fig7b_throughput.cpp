@@ -30,7 +30,7 @@ struct Result {
   double active_pct = 0.0;
 };
 
-Result run_point(const Point& p) {
+Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
   using namespace mhp;
   using namespace mhp::exp;
   // One shared deployment as in the paper; average 3 traffic/schedule
@@ -42,7 +42,7 @@ Result run_point(const Point& p) {
     const std::uint64_t seed = 42 + static_cast<std::uint64_t>(k);
     if (p.smac_duty < 0.0) {
       PollingSimulation sim(dep, eval_protocol_config(seed),
-                            p.per_sensor_bps);
+                            p.per_sensor_bps, rt_opts);
       const auto rep = sim.run(Time::sec(70), Time::sec(10));
       out.throughput_bps += rep.throughput_bps / kSeeds;
       out.active_pct += 100.0 * rep.mean_active_fraction / kSeeds;
@@ -50,7 +50,7 @@ Result run_point(const Point& p) {
       SmacConfig cfg;
       cfg.duty_cycle = p.smac_duty;
       cfg.seed = seed;
-      SmacSimulation sim(dep, cfg, p.per_sensor_bps);
+      SmacSimulation sim(dep, cfg, p.per_sensor_bps, rt_opts);
       const auto rep = sim.run(Time::sec(70), Time::sec(10));
       out.throughput_bps += rep.throughput_bps / kSeeds;
       out.active_pct += 100.0 * rep.mean_active_fraction / kSeeds;
@@ -79,8 +79,12 @@ int main() {
   for (const auto& s : schemes)
     for (double l : loads) points.push_back({l, s.duty});
 
+  mhp::exp::SweepOptions sweep_opts;
+  sweep_opts.runtime = mhp::exp::eval_runtime_options();
   const auto results = mhp::exp::sweep<Point, Result>(
-      points, std::function<Result(const Point&)>(run_point));
+      points,
+      std::function<Result(const Point&, const RuntimeOptions&)>(run_point),
+      sweep_opts);
 
   std::printf(
       "Fig 7(b) — throughput at the sink, 30-sensor cluster\n"

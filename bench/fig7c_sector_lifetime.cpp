@@ -29,7 +29,7 @@ struct Result {
 
 /// Average over a few deployments per cluster size to smooth topology
 /// noise (the paper plots one curve; we report the mean of 3 seeds).
-Result run_point(const Point& p) {
+Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
   using namespace mhp;
   using namespace mhp::exp;
   constexpr double kRate = 20.0;  // low rate: both variants deliver 100%
@@ -41,10 +41,12 @@ Result run_point(const Point& p) {
                                static_cast<std::uint64_t>(k);
     const Deployment dep = eval_deployment(p.sensors, seed);
 
-    PollingSimulation plain(dep, eval_protocol_config(seed, false), kRate);
+    PollingSimulation plain(dep, eval_protocol_config(seed, false), kRate,
+                            rt_opts);
     const auto rp = plain.run(Time::sec(40), Time::sec(10));
 
-    PollingSimulation sectored(dep, eval_protocol_config(seed, true), kRate);
+    PollingSimulation sectored(dep, eval_protocol_config(seed, true),
+                               kRate, rt_opts);
     const auto rs = sectored.run(Time::sec(40), Time::sec(10));
 
     out.sectors += static_cast<double>(rs.sectors) / kSeeds;
@@ -64,8 +66,12 @@ int main() {
   std::vector<Point> points;
   for (std::size_t n = 10; n <= 50; n += 5) points.push_back({n});
 
+  mhp::exp::SweepOptions sweep_opts;
+  sweep_opts.runtime = mhp::exp::eval_runtime_options();
   const auto results = mhp::exp::sweep<Point, Result>(
-      points, std::function<Result(const Point&)>(run_point));
+      points,
+      std::function<Result(const Point&, const RuntimeOptions&)>(run_point),
+      sweep_opts);
 
   std::printf(
       "Fig 7(c) — lifetime ratio (with sectors vs without), 100%% delivery\n"

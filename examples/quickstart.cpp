@@ -47,5 +47,12 @@ int main() {
   std::printf("latency:    mean %.1f ms\n", 1e3 * rep.mean_latency_s);
   std::printf("duty:       mean %.1f ms per cycle\n",
               1e3 * rep.mean_duty_seconds);
+
+  // Every report embeds the runtime's metrics snapshot: the same named
+  // counters/gauges exist across all simulation stacks.
+  std::printf("\n--- metrics snapshot ---\n");
+  for (const auto& [name, value] : rep.metrics.counters)
+    std::printf("%-26s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
   return 0;
 }

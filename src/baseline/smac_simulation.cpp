@@ -7,18 +7,19 @@
 namespace mhp {
 
 SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
-                               std::vector<double> rates_bps)
-    : cfg_(cfg), rates_(std::move(rates_bps)) {
+                               std::vector<double> rates_bps,
+                               const RuntimeOptions& rt_opts)
+    : cfg_(cfg), rates_(std::move(rates_bps)), rt_(cfg.seed, rt_opts) {
   const std::size_t n = deployment.num_sensors();
   MHP_REQUIRE(rates_.size() == n, "one rate per sensor required");
 
-  propagation_ = std::make_unique<TwoRayGround>();
+  rt_.adopt_propagation(std::make_unique<TwoRayGround>());
   // In the S-MAC comparison every node is a peer; all use sensor power.
   std::vector<double> powers(n + 1, RadioParams::kSensorTxPowerW);
-  channel_ = std::make_unique<Channel>(sim_, *propagation_, cfg_.radio,
-                                       deployment.positions, powers);
+  Channel& channel =
+      rt_.add_channel(cfg_.radio, deployment.positions, powers);
 
-  Rng root(cfg_.seed);
+  Rng& root = rt_.root_rng();
   const auto sink = static_cast<NodeId>(n);
   nodes_.reserve(n + 1);
   // Schedule phases: nodes land in one of `schedule_groups` virtual
@@ -31,38 +32,43 @@ SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
                  (cfg_.frame_period.nanos() /
                   static_cast<std::int64_t>(groups)));
     nodes_.push_back(std::make_unique<SmacNode>(
-        i, sink, sim_, *channel_, uids_, cfg_, root.split(i + 1),
+        i, sink, rt_.sim(), channel, rt_.uids(), cfg_, root.split(i + 1),
         /*always_on=*/false, phase));
   }
-  nodes_.push_back(std::make_unique<SmacNode>(sink, sink, sim_, *channel_,
-                                              uids_, cfg_, root.split(0),
+  nodes_.push_back(std::make_unique<SmacNode>(sink, sink, rt_.sim(),
+                                              channel, rt_.uids(), cfg_,
+                                              root.split(0),
                                               /*always_on=*/true));
   for (auto& node : nodes_) node->start();
   for (NodeId i = 0; i < n; ++i) nodes_[i]->start_cbr(rates_[i]);
 }
 
 SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
-                               double rate_bps)
+                               double rate_bps,
+                               const RuntimeOptions& rt_opts)
     : SmacSimulation(deployment, cfg,
                      std::vector<double>(deployment.num_sensors(),
-                                         rate_bps)) {}
+                                         rate_bps),
+                     rt_opts) {}
 
 SmacReport SmacSimulation::run(Time duration, Time warmup) {
   MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
-  sim_.run_until(warmup);
-  for (auto& node : nodes_) node->reset_stats(sim_.now());
+  Simulator& sim = rt_.sim();
+  sim.run_until(warmup);
+  for (auto& node : nodes_) node->reset_stats(sim.now());
+  rt_.begin_measurement();
 
-  sim_.run_until(duration);
+  sim.run_until(duration);
 
   SmacReport rep;
-  rep.measured_seconds = (duration - warmup).to_seconds();
   const auto& sink = *nodes_.back();
+  std::uint64_t generated = 0;
   double active_sum = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     auto& node = *nodes_[i];
-    node.settle(sim_.now());
+    node.settle(sim.now());
     if (i + 1 < nodes_.size()) {  // sensors only
-      rep.packets_generated += node.packets_generated();
+      generated += node.packets_generated();
       rep.packets_dropped += node.packets_dropped();
       active_sum += node.meter().active_fraction();
     }
@@ -70,21 +76,23 @@ SmacReport SmacSimulation::run(Time duration, Time warmup) {
     rep.rreq_floods += node.rreqs_sent();
     rep.mac_failures += node.mac_failures();
   }
-  rep.packets_delivered = sink.packets_delivered();
-  rep.mean_active_fraction =
-      active_sum / static_cast<double>(num_sensors());
-  rep.offered_bps =
-      static_cast<double>(rep.packets_generated * cfg_.data_bytes) /
-      rep.measured_seconds;
-  rep.throughput_bps = static_cast<double>(sink.bytes_delivered()) /
-                       rep.measured_seconds;
-  rep.delivery_ratio =
-      rep.packets_generated == 0
-          ? 1.0
-          : static_cast<double>(rep.packets_delivered) /
-                static_cast<double>(rep.packets_generated);
-  rep.mean_latency_s =
-      sink.latency_s().empty() ? 0.0 : sink.latency_s().mean();
+
+  MetricsRegistry& m = rt_.metrics();
+  m.counter(metric::kPacketsGenerated).add(generated);
+  m.counter(metric::kPacketsDelivered).add(sink.packets_delivered());
+  m.counter(metric::kBytesDelivered).add(sink.bytes_delivered());
+  m.counter(metric::kPacketsLost).add(rep.packets_dropped);
+  m.counter("smac.control_frames").add(rep.control_frames);
+  m.counter("smac.rreq_floods").add(rep.rreq_floods);
+  m.counter("smac.mac_failures").add(rep.mac_failures);
+  m.gauge(metric::kMeanActiveFraction)
+      .set(sim.now(), active_sum / static_cast<double>(num_sensors()));
+  m.gauge(metric::kMeanLatencyS)
+      .set(sim.now(),
+           sink.latency_s().empty() ? 0.0 : sink.latency_s().mean());
+
+  static_cast<RunStats&>(rep) =
+      rt_.collect_run_stats(duration - warmup, cfg_.data_bytes);
   return rep;
 }
 

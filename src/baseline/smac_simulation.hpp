@@ -1,6 +1,10 @@
 // Facade for the S-MAC + AODV baseline runs of Fig 7(b): same deployment
 // and channel as the polling simulation, but every node contends with
 // S-MAC and routes with AODV toward the cluster head (sink).
+//
+// Substrate (simulator, channel, trace, metrics, RNG) comes from the
+// same SimRuntime layer the polling stacks use, so cross-stack features
+// and report cores stay uniform.
 #pragma once
 
 #include <memory>
@@ -9,24 +13,16 @@
 #include "baseline/smac_config.hpp"
 #include "baseline/smac_node.hpp"
 #include "net/deployment.hpp"
-#include "radio/propagation.hpp"
-#include "sim/simulator.hpp"
+#include "sim/runtime.hpp"
 
 namespace mhp {
 
-struct SmacReport {
-  double measured_seconds = 0.0;
-  double offered_bps = 0.0;
-  double throughput_bps = 0.0;
-  double delivery_ratio = 0.0;
-  std::uint64_t packets_generated = 0;
-  std::uint64_t packets_delivered = 0;
+/// Shared report core in RunStats; baseline-specific overheads here.
+struct SmacReport : RunStats {
   std::uint64_t packets_dropped = 0;
   std::uint64_t control_frames = 0;   // RTS/CTS/ACK + routing
   std::uint64_t rreq_floods = 0;
   std::uint64_t mac_failures = 0;
-  double mean_active_fraction = 0.0;
-  double mean_latency_s = 0.0;
 };
 
 class SmacSimulation {
@@ -34,26 +30,27 @@ class SmacSimulation {
   /// `rates_bps[s]`: CBR rate of sensor s in bytes/s; the head (last node
   /// of the deployment) is the always-on sink.
   SmacSimulation(const Deployment& deployment, SmacConfig cfg,
-                 std::vector<double> rates_bps);
+                 std::vector<double> rates_bps,
+                 const RuntimeOptions& rt_opts = {});
   SmacSimulation(const Deployment& deployment, SmacConfig cfg,
-                 double rate_bps);
+                 double rate_bps, const RuntimeOptions& rt_opts = {});
 
   SmacSimulation(const SmacSimulation&) = delete;
   SmacSimulation& operator=(const SmacSimulation&) = delete;
 
   SmacReport run(Time duration, Time warmup = Time::sec(10));
 
-  Simulator& simulator() { return sim_; }
+  SimRuntime& runtime() { return rt_; }
+  Simulator& simulator() { return rt_.sim(); }
+  Trace& trace() { return rt_.trace(); }
+  MetricsRegistry& metrics() { return rt_.metrics(); }
   const SmacNode& node(NodeId i) const { return *nodes_.at(i); }
   std::size_t num_sensors() const { return nodes_.size() - 1; }
 
  private:
   SmacConfig cfg_;
   std::vector<double> rates_;
-  Simulator sim_;
-  FrameUidSource uids_;
-  std::unique_ptr<Propagation> propagation_;
-  std::unique_ptr<Channel> channel_;
+  SimRuntime rt_;
   std::vector<std::unique_ptr<SmacNode>> nodes_;  // sensors then sink
 };
 

@@ -23,8 +23,9 @@ const char* to_string(InterClusterMode mode) {
 
 MultiClusterSimulation::MultiClusterSimulation(
     std::vector<ClusterSpec> clusters, ProtocolConfig cfg,
-    InterClusterMode mode, double rate_bps, double interference_range)
-    : cfg_(cfg), mode_(mode), rate_bps_(rate_bps) {
+    InterClusterMode mode, double rate_bps, double interference_range,
+    const RuntimeOptions& rt_opts)
+    : cfg_(cfg), mode_(mode), rt_(cfg.seed, rt_opts), rate_bps_(rate_bps) {
   MHP_REQUIRE(!clusters.empty(), "need at least one cluster");
   build(std::move(clusters), rate_bps, interference_range);
 }
@@ -33,7 +34,7 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                                    double rate_bps,
                                    double interference_range) {
   const std::size_t num_clusters = specs.size();
-  propagation_ = std::make_unique<TwoRayGround>();
+  rt_.adopt_propagation(std::make_unique<TwoRayGround>());
 
   // Channel groups.  kColored: colour the cluster adjacency graph; each
   // colour is an isolated channel.  Otherwise everyone shares channel 0.
@@ -75,11 +76,9 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                               : RadioParams::kSensorTxPowerW);
     }
   }
-  channels_.reserve(static_cast<std::size_t>(num_groups));
   for (int g = 0; g < num_groups; ++g)
-    channels_.push_back(std::make_unique<Channel>(
-        sim_, *propagation_, cfg_.radio, positions[static_cast<std::size_t>(g)],
-        powers[static_cast<std::size_t>(g)]));
+    rt_.add_channel(cfg_.radio, positions[static_cast<std::size_t>(g)],
+                    powers[static_cast<std::size_t>(g)]);
 
   // Token rotation: each head drains in its own window of the cycle.
   // (head_cfg_ is a member: the head agents hold a reference to it.)
@@ -89,11 +88,12 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                                           static_cast<std::int64_t>(
                                               num_clusters));
 
-  Rng root(cfg_.seed);
+  Rng& root = rt_.root_rng();
   clusters_.resize(num_clusters);
   for (std::size_t c = 0; c < num_clusters; ++c) {
     ClusterRt& rt = clusters_[c];
-    Channel& channel = *channels_[static_cast<std::size_t>(placement[c].group)];
+    Channel& channel =
+        rt_.channel(static_cast<std::size_t>(placement[c].group));
     const std::size_t n = specs[c].deployment.num_sensors();
     const NodeId base = placement[c].base;
     rt.num_sensors = n;
@@ -142,12 +142,12 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
         *rt.truth, transmissions_of_paths(all_paths), cfg_.oracle_order);
 
     rt.head_agent = std::make_unique<HeadAgent>(
-        rt.head, sim_, channel, uids_, head_cfg_, *rt.oracle,
+        rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_, *rt.oracle,
         std::vector<SectorPlan>{sp}, root.split(1000 + c));
     rt.sensors.reserve(n);
     for (NodeId s = 0; s < n; ++s) {
       auto agent = std::make_unique<SensorAgent>(
-          base + s, sim_, channel, uids_, cfg_,
+          base + s, rt_.sim(), channel, rt_.uids(), cfg_,
           root.split(c * 1000 + s + 1));
       agent->set_head(rt.head);
       agent->start_sampling(rate_bps);
@@ -166,21 +166,25 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
 
 MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
   MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
-  sim_.run_until(warmup);
+  Simulator& sim = rt_.sim();
+  sim.run_until(warmup);
   for (auto& rt : clusters_) {
-    rt.head_agent->reset_stats(sim_.now());
-    for (auto& s : rt.sensors) s->reset_stats(sim_.now());
+    rt.head_agent->reset_stats(sim.now());
+    for (auto& s : rt.sensors) s->reset_stats(sim.now());
   }
-  sim_.run_until(duration);
+  rt_.begin_measurement();
+  sim.run_until(duration);
 
   MultiClusterReport rep;
   rep.channels_used = channels_used_;
   std::uint64_t total_generated = 0, total_delivered = 0, total_bytes = 0;
+  double total_active = 0.0;
+  std::size_t total_sensors = 0;
   for (auto& rt : clusters_) {
     std::uint64_t generated = 0;
     double active = 0.0;
     for (auto& s : rt.sensors) {
-      s->settle(sim_.now());
+      s->settle(sim.now());
       generated += s->packets_generated();
       active += s->meter().active_fraction();
     }
@@ -194,6 +198,8 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
     total_generated += generated;
     total_delivered += delivered;
     total_bytes += rt.head_agent->bytes_received();
+    total_active += active;
+    total_sensors += rt.sensors.size();
   }
   rep.aggregate_delivery =
       total_generated == 0 ? 1.0
@@ -201,6 +207,16 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
                                  static_cast<double>(total_generated);
   rep.aggregate_throughput_bps =
       static_cast<double>(total_bytes) / (duration - warmup).to_seconds();
+
+  // Field-wide totals via the shared registry.
+  MetricsRegistry& m = rt_.metrics();
+  m.counter(metric::kPacketsGenerated).add(total_generated);
+  m.counter(metric::kPacketsDelivered).add(total_delivered);
+  m.counter(metric::kBytesDelivered).add(total_bytes);
+  m.counter("clusters").add(clusters_.size());
+  m.gauge(metric::kMeanActiveFraction)
+      .set(sim.now(), total_active / static_cast<double>(total_sensors));
+  rep.totals = rt_.collect_run_stats(duration - warmup, cfg_.data_bytes);
   return rep;
 }
 

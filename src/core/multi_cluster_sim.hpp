@@ -9,6 +9,9 @@
 //  * kToken   — one shared channel, but heads take turns: head k drains
 //    in window k of each cycle (period/K each), so no two clusters are
 //    ever on the air together.
+//
+// Substrate (simulator, per-group channels, trace, metrics, RNG) comes
+// from one shared SimRuntime; one channel is added per colour group.
 #pragma once
 
 #include <memory>
@@ -19,9 +22,7 @@
 #include "core/protocol_config.hpp"
 #include "core/sensor_agent.hpp"
 #include "net/deployment.hpp"
-#include "radio/channel.hpp"
-#include "radio/propagation.hpp"
-#include "sim/simulator.hpp"
+#include "sim/runtime.hpp"
 
 namespace mhp {
 
@@ -40,6 +41,8 @@ struct MultiClusterReport {
   double aggregate_delivery = 0.0;
   double aggregate_throughput_bps = 0.0;
   int channels_used = 1;
+  /// Field-wide totals populated from the runtime's MetricsRegistry.
+  RunStats totals;
 };
 
 class MultiClusterSimulation {
@@ -47,7 +50,8 @@ class MultiClusterSimulation {
   MultiClusterSimulation(std::vector<ClusterSpec> clusters,
                          ProtocolConfig cfg, InterClusterMode mode,
                          double rate_bps,
-                         double interference_range = 400.0);
+                         double interference_range = 400.0,
+                         const RuntimeOptions& rt_opts = {});
 
   MultiClusterSimulation(const MultiClusterSimulation&) = delete;
   MultiClusterSimulation& operator=(const MultiClusterSimulation&) = delete;
@@ -55,6 +59,8 @@ class MultiClusterSimulation {
   MultiClusterReport run(Time duration, Time warmup = Time::sec(10));
 
   int channels_used() const { return channels_used_; }
+  SimRuntime& runtime() { return rt_; }
+  MetricsRegistry& metrics() { return rt_.metrics(); }
 
  private:
   struct ClusterRt {
@@ -75,10 +81,7 @@ class MultiClusterSimulation {
   ProtocolConfig head_cfg_;  // cfg_ plus the token drain window; the
                              // head agents keep a reference to it
   InterClusterMode mode_;
-  Simulator sim_;
-  FrameUidSource uids_;
-  std::unique_ptr<Propagation> propagation_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  SimRuntime rt_;
   std::vector<ClusterRt> clusters_;
   int channels_used_ = 1;
   double rate_bps_ = 0.0;

@@ -37,18 +37,21 @@ const std::vector<SectorPlan>& PollingSimulation::RotatingProvider::plans(
 
 PollingSimulation::PollingSimulation(const Deployment& deployment,
                                      ProtocolConfig cfg,
-                                     std::vector<double> rates_bps)
-    : cfg_(cfg), rates_(std::move(rates_bps)) {
+                                     std::vector<double> rates_bps,
+                                     const RuntimeOptions& rt_opts)
+    : cfg_(cfg), rates_(std::move(rates_bps)), rt_(cfg.seed, rt_opts) {
   MHP_REQUIRE(rates_.size() == deployment.num_sensors(),
               "one rate per sensor required");
   setup(deployment);
 }
 
 PollingSimulation::PollingSimulation(const Deployment& deployment,
-                                     ProtocolConfig cfg, double rate_bps)
+                                     ProtocolConfig cfg, double rate_bps,
+                                     const RuntimeOptions& rt_opts)
     : PollingSimulation(deployment, cfg,
                         std::vector<double>(deployment.num_sensors(),
-                                            rate_bps)) {}
+                                            rate_bps),
+                        rt_opts) {}
 
 void PollingSimulation::setup(const Deployment& deployment) {
   const std::size_t n = deployment.num_sensors();
@@ -56,27 +59,26 @@ void PollingSimulation::setup(const Deployment& deployment) {
 
   switch (cfg_.propagation) {
     case PropagationModel::kTwoRayGround:
-      propagation_ = std::make_unique<TwoRayGround>();
+      rt_.adopt_propagation(std::make_unique<TwoRayGround>());
       break;
     case PropagationModel::kFreeSpace:
-      propagation_ = std::make_unique<FreeSpace>();
+      rt_.adopt_propagation(std::make_unique<FreeSpace>());
       break;
     case PropagationModel::kLogNormalShadowing:
-      propagation_ = std::make_unique<LogDistanceShadowing>(
+      rt_.adopt_propagation(std::make_unique<LogDistanceShadowing>(
           cfg_.shadowing_exponent, cfg_.shadowing_sigma_db, 1.0, 914e6,
-          cfg_.environment_seed);
+          cfg_.environment_seed));
       break;
   }
   std::vector<double> powers(n + 1, RadioParams::kSensorTxPowerW);
   powers[n] = RadioParams::kHeadTxPowerW;
-  channel_ = std::make_unique<Channel>(sim_, *propagation_, cfg_.radio,
-                                       deployment.positions, powers);
-  channel_->set_trace(&trace_);
+  Channel& channel =
+      rt_.add_channel(cfg_.radio, deployment.positions, powers);
 
   // §V-B: the head discovers connectivity by probing, which amounts to the
   // channel's interference-free link test.
   topo_ = std::make_unique<ClusterTopology>(topology_from_predicate(
-      n, [this](NodeId a, NodeId b) { return channel_->link_ok(a, b); }));
+      n, [&channel](NodeId a, NodeId b) { return channel.link_ok(a, b); }));
   MHP_REQUIRE(topo_->fully_connected(),
               "cluster not fully connected; adjust deployment");
 
@@ -92,7 +94,7 @@ void PollingSimulation::setup(const Deployment& deployment) {
   }
   plan_ = std::make_unique<RelayPlan>(RelayPlan::balanced(*topo_, demand));
 
-  truth_ = std::make_unique<ChannelOracle>(*channel_, cfg_.oracle_order);
+  truth_ = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
 
   // Assemble sector plans (one covering sector when sectoring is off).
   std::vector<SectorPlan> sector_plans;
@@ -146,22 +148,24 @@ void PollingSimulation::setup(const Deployment& deployment) {
   oracle_ = std::make_unique<MeasuredOracle>(
       *truth_, transmissions_of_paths(all_paths), cfg_.oracle_order);
 
-  Rng root(cfg_.seed);
+  Rng& root = rt_.root_rng();
   if (rotate) {
     provider_ = std::make_unique<RotatingProvider>(*topo_, *plan_);
-    head_ = std::make_unique<HeadAgent>(topo_->head(), sim_, *channel_,
-                                        uids_, cfg_, *oracle_, *provider_,
-                                        root.split(0), &trace_);
+    head_ = std::make_unique<HeadAgent>(topo_->head(), rt_.sim(), channel,
+                                        rt_.uids(), cfg_, *oracle_,
+                                        *provider_, root.split(0),
+                                        &rt_.trace());
   } else {
-    head_ = std::make_unique<HeadAgent>(topo_->head(), sim_, *channel_,
-                                        uids_, cfg_, *oracle_,
+    head_ = std::make_unique<HeadAgent>(topo_->head(), rt_.sim(), channel,
+                                        rt_.uids(), cfg_, *oracle_,
                                         std::move(sector_plans),
-                                        root.split(0), &trace_);
+                                        root.split(0), &rt_.trace());
   }
   sensors_.reserve(n);
   for (NodeId s = 0; s < n; ++s) {
-    auto agent = std::make_unique<SensorAgent>(s, sim_, *channel_, uids_,
-                                               cfg_, root.split(s + 1));
+    auto agent = std::make_unique<SensorAgent>(s, rt_.sim(), channel,
+                                               rt_.uids(), cfg_,
+                                               root.split(s + 1));
     agent->set_sector(sector_of[s]);
     agent->set_head(topo_->head());
     agent->start_sampling(rates_[s]);
@@ -172,22 +176,23 @@ void PollingSimulation::setup(const Deployment& deployment) {
 
 SimulationReport PollingSimulation::run(Time duration, Time warmup) {
   MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
-  sim_.run_until(warmup);
-  head_->reset_stats(sim_.now());
-  for (auto& s : sensors_) s->reset_stats(sim_.now());
+  Simulator& sim = rt_.sim();
+  sim.run_until(warmup);
+  head_->reset_stats(sim.now());
+  for (auto& s : sensors_) s->reset_stats(sim.now());
+  rt_.begin_measurement();
 
-  sim_.run_until(duration);
+  sim.run_until(duration);
 
   const Time measured = duration - warmup;
   SimulationReport rep;
-  rep.measured_seconds = measured.to_seconds();
   rep.sectors = partition_ ? partition_->sectors.size() : 1;
 
   std::uint64_t generated = 0;
   std::uint64_t overflow = 0;
   double active_sum = 0.0, power_sum = 0.0;
   for (auto& s : sensors_) {
-    s->settle(sim_.now());
+    s->settle(sim.now());
     generated += s->packets_generated();
     overflow += s->packets_dropped_overflow();
     const double active = s->meter().active_fraction();
@@ -198,23 +203,28 @@ SimulationReport PollingSimulation::run(Time duration, Time warmup) {
     rep.max_sensor_power_w = std::max(rep.max_sensor_power_w, power);
   }
   const auto n = static_cast<double>(sensors_.size());
-  rep.mean_active_fraction = active_sum / n;
   rep.mean_sensor_power_w = power_sum / n;
 
-  rep.packets_generated = generated;
-  rep.packets_delivered = head_->packets_received();
-  rep.packets_lost =
-      head_->packets_lost_abort() + head_->packets_lost_retry() + overflow;
-  rep.offered_bps = static_cast<double>(generated * cfg_.data_bytes) /
-                    rep.measured_seconds;
-  rep.throughput_bps = static_cast<double>(head_->bytes_received()) /
-                       rep.measured_seconds;
-  rep.delivery_ratio =
-      generated == 0 ? 1.0
-                     : static_cast<double>(rep.packets_delivered) /
-                           static_cast<double>(generated);
-  rep.mean_latency_s =
-      head_->latency_s().empty() ? 0.0 : head_->latency_s().mean();
+  // Mirror the stack's totals into the runtime registry; the shared
+  // report core is then populated from it.
+  MetricsRegistry& m = rt_.metrics();
+  m.counter(metric::kPacketsGenerated).add(generated);
+  m.counter(metric::kPacketsDelivered).add(head_->packets_received());
+  m.counter(metric::kBytesDelivered).add(head_->bytes_received());
+  m.counter(metric::kPacketsLost)
+      .add(head_->packets_lost_abort() + head_->packets_lost_retry() +
+           overflow);
+  m.counter("polling.reactivations").add(head_->reactivations());
+  m.counter("polling.cycles_completed").add(head_->cycles_completed());
+  m.gauge(metric::kMeanActiveFraction).set(sim.now(), active_sum / n);
+  m.gauge("sensors.mean_power_w").set(sim.now(), rep.mean_sensor_power_w);
+  m.gauge(metric::kMeanLatencyS)
+      .set(sim.now(),
+           head_->latency_s().empty() ? 0.0 : head_->latency_s().mean());
+
+  static_cast<RunStats&>(rep) =
+      rt_.collect_run_stats(measured, cfg_.data_bytes);
+  rep.packets_lost = m.counter(metric::kPacketsLost).value();
   rep.mean_duty_seconds =
       head_->duty_time_s().empty() ? 0.0 : head_->duty_time_s().mean();
   return rep;

@@ -6,6 +6,9 @@
 // routing (§III-A), optional sector partitioning (§IV), ack-collection
 // cover (§V-F) and M-wise interference probing (§V-E).  run() then
 // executes duty cycles on the discrete-event simulator.
+//
+// All substrate (Simulator, Channel, Trace, metrics, RNG) is owned by a
+// SimRuntime; this class only assembles the protocol agents on top.
 #pragma once
 
 #include <memory>
@@ -20,26 +23,18 @@
 #include "core/sensor_agent.hpp"
 #include "net/cluster.hpp"
 #include "net/deployment.hpp"
-#include "radio/channel.hpp"
-#include "radio/propagation.hpp"
-#include "sim/simulator.hpp"
+#include "sim/runtime.hpp"
 
 namespace mhp {
 
-/// Aggregated results of a measurement window.
-struct SimulationReport {
-  double measured_seconds = 0.0;
-  double offered_bps = 0.0;      // bytes/s generated by sensors
-  double throughput_bps = 0.0;   // bytes/s delivered at the head
-  double delivery_ratio = 0.0;   // delivered / generated packets
-  std::uint64_t packets_generated = 0;
-  std::uint64_t packets_delivered = 0;
+/// Aggregated results of a measurement window.  The shared core
+/// (throughput, delivery, activity, metrics snapshot) lives in RunStats;
+/// the fields here are specific to the polling stack.
+struct SimulationReport : RunStats {
   std::uint64_t packets_lost = 0;  // aborted + retry-exhausted + overflow
-  double mean_active_fraction = 0.0;  // sensors' awake share of time
   double max_active_fraction = 0.0;
   double mean_sensor_power_w = 0.0;
   double max_sensor_power_w = 0.0;
-  double mean_latency_s = 0.0;
   double mean_duty_seconds = 0.0;  // per sector drain
   std::size_t sectors = 1;
 
@@ -54,10 +49,11 @@ class PollingSimulation {
  public:
   /// `rates_bps[s]`: data generation rate of sensor s in bytes/s.
   PollingSimulation(const Deployment& deployment, ProtocolConfig cfg,
-                    std::vector<double> rates_bps);
+                    std::vector<double> rates_bps,
+                    const RuntimeOptions& rt_opts = {});
   /// Same rate for every sensor.
   PollingSimulation(const Deployment& deployment, ProtocolConfig cfg,
-                    double rate_bps);
+                    double rate_bps, const RuntimeOptions& rt_opts = {});
 
   PollingSimulation(const PollingSimulation&) = delete;
   PollingSimulation& operator=(const PollingSimulation&) = delete;
@@ -73,9 +69,11 @@ class PollingSimulation {
     return partition_;
   }
   const MeasuredOracle& oracle() const { return *oracle_; }
-  Simulator& simulator() { return sim_; }
+  SimRuntime& runtime() { return rt_; }
+  Simulator& simulator() { return rt_.sim(); }
   /// Protocol trace (enable categories before run() to collect entries).
-  Trace& trace() { return trace_; }
+  Trace& trace() { return rt_.trace(); }
+  MetricsRegistry& metrics() { return rt_.metrics(); }
   const HeadAgent& head() const { return *head_; }
   const SensorAgent& sensor(NodeId s) const { return *sensors_.at(s); }
   std::size_t num_sensors() const { return sensors_.size(); }
@@ -99,11 +97,7 @@ class PollingSimulation {
 
   ProtocolConfig cfg_;
   std::vector<double> rates_;
-  Simulator sim_;
-  Trace trace_;
-  FrameUidSource uids_;
-  std::unique_ptr<Propagation> propagation_;
-  std::unique_ptr<Channel> channel_;
+  SimRuntime rt_;
   std::unique_ptr<ClusterTopology> topo_;
   std::unique_ptr<RelayPlan> plan_;
   std::optional<SectorPartition> partition_;

@@ -1,0 +1,86 @@
+#include "metrics/registry.hpp"
+
+#include <ostream>
+
+namespace mhp {
+
+void Gauge::set(Time now, double value) {
+  if (ever_set_) {
+    integral_ += value_ * (now - last_set_).to_seconds();
+  } else {
+    window_start_ = now;
+    ever_set_ = true;
+  }
+  value_ = value;
+  last_set_ = now;
+}
+
+double Gauge::mean(Time now) const {
+  if (!ever_set_) return 0.0;
+  const double width = (now - window_start_).to_seconds();
+  if (width <= 0.0) return value_;
+  const double tail = value_ * (now - last_set_).to_seconds();
+  return (integral_ + tail) / width;
+}
+
+void Gauge::restart(Time now) {
+  integral_ = 0.0;
+  window_start_ = now;
+  last_set_ = now;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge_last(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second.last;
+}
+
+double MetricsSnapshot::gauge_mean(const std::string& name) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second.mean;
+}
+
+void MetricsSnapshot::print(std::ostream& os) const {
+  for (const auto& [name, value] : counters)
+    os << name << " = " << value << "\n";
+  for (const auto& [name, g] : gauges)
+    os << name << " = " << g.last << " (mean " << g.mean << ")\n";
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::begin_window(Time now) {
+  counters_.clear();
+  for (auto& [name, g] : gauges_) g.restart(now);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(Time now) const {
+  MetricsSnapshot snap;
+  snap.at = now;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_)
+    snap.gauges[name] = {g.last(), g.mean(now)};
+  return snap;
+}
+
+}  // namespace mhp

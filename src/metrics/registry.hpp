@@ -1,0 +1,104 @@
+// Named runtime metrics shared by every simulation stack.
+//
+// A MetricsRegistry holds monotonic counters (event totals: packets
+// generated, frames transmitted, ...) and time-weighted gauges (sampled
+// values whose average must weight each sample by how long it was
+// current: queue depth, mean active fraction, ...).  Simulations write
+// into the registry while they run; reports embed a MetricsSnapshot so
+// downstream tooling sees one uniform name→value view regardless of
+// which stack produced it.  Lookups use std::map so snapshots iterate
+// in a deterministic order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mhp {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Time-weighted gauge: set() stamps a new value at a simulation time;
+/// mean() weights each value by how long it stayed current.
+class Gauge {
+ public:
+  void set(Time now, double value);
+
+  double last() const { return value_; }
+
+  /// Time-weighted mean over [window start, now].  Equals last() when the
+  /// window has zero width (a single end-of-run summary sample).
+  double mean(Time now) const;
+
+  /// Start a new averaging window at `now`, keeping the current value.
+  void restart(Time now);
+
+  bool ever_set() const { return ever_set_; }
+
+ private:
+  bool ever_set_ = false;
+  double value_ = 0.0;
+  double integral_ = 0.0;  // ∫ value dt over the current window, in seconds
+  Time window_start_ = Time::zero();
+  Time last_set_ = Time::zero();
+};
+
+/// Point-in-time copy of a registry, embeddable in reports.
+struct MetricsSnapshot {
+  struct GaugeValue {
+    double last = 0.0;
+    double mean = 0.0;
+  };
+
+  Time at = Time::zero();
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeValue> gauges;
+
+  bool has_counter(const std::string& name) const {
+    return counters.count(name) != 0;
+  }
+  /// 0 for absent names (absent and never-incremented are equivalent).
+  std::uint64_t counter(const std::string& name) const;
+  double gauge_last(const std::string& name) const;
+  double gauge_mean(const std::string& name) const;
+
+  void print(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name.  References stay valid for the registry's
+  /// lifetime (std::map nodes do not move).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+
+  std::size_t num_counters() const { return counters_.size(); }
+  std::size_t num_gauges() const { return gauges_.size(); }
+
+  /// Zero every counter and restart every gauge window at `now`: the
+  /// registry then covers the measurement window only (simulations call
+  /// this when their warmup ends).
+  void begin_window(Time now);
+
+  MetricsSnapshot snapshot(Time now) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace mhp

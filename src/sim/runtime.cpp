@@ -1,0 +1,85 @@
+#include "sim/runtime.hpp"
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+SimRuntime::SimRuntime(std::uint64_t seed, const RuntimeOptions& opts)
+    : root_rng_(seed) {
+  trace_.set_max_entries(opts.trace_max_entries);
+  if (opts.trace_stream != nullptr) {
+    stream_sink_ = std::make_unique<OstreamTraceSink>(*opts.trace_stream);
+    trace_.add_sink(stream_sink_.get());
+  }
+}
+
+SimRuntime::~SimRuntime() {
+  if (stream_sink_) trace_.remove_sink(stream_sink_.get());
+}
+
+Propagation& SimRuntime::adopt_propagation(
+    std::unique_ptr<Propagation> propagation) {
+  MHP_REQUIRE(propagation != nullptr, "null propagation model");
+  MHP_REQUIRE(propagation_ == nullptr,
+              "runtime already has a propagation model");
+  propagation_ = std::move(propagation);
+  return *propagation_;
+}
+
+const Propagation& SimRuntime::propagation() const {
+  MHP_REQUIRE(propagation_ != nullptr, "no propagation model adopted");
+  return *propagation_;
+}
+
+Channel& SimRuntime::add_channel(RadioParams params,
+                                 std::vector<Vec2> positions,
+                                 std::vector<double> tx_power_w) {
+  MHP_REQUIRE(propagation_ != nullptr,
+              "adopt_propagation() before add_channel()");
+  channels_.push_back(std::make_unique<Channel>(sim_, *propagation_, params,
+                                                std::move(positions),
+                                                std::move(tx_power_w)));
+  channels_.back()->set_trace(&trace_);
+  return *channels_.back();
+}
+
+void SimRuntime::begin_measurement() {
+  metrics_.begin_window(sim_.now());
+  frames_at_window_begin_ = 0;
+  for (const auto& ch : channels_)
+    frames_at_window_begin_ += ch->frames_transmitted();
+}
+
+RunStats SimRuntime::collect_run_stats(Time measured,
+                                       std::uint32_t data_bytes) {
+  std::uint64_t frames = 0;
+  for (const auto& ch : channels_) frames += ch->frames_transmitted();
+  frames -= frames_at_window_begin_;
+  Counter& frames_counter = metrics_.counter(metric::kChannelFramesTx);
+  frames_counter.add(frames - frames_counter.value());
+
+  RunStats out;
+  out.measured_seconds = measured.to_seconds();
+  out.packets_generated =
+      metrics_.counter(metric::kPacketsGenerated).value();
+  out.packets_delivered =
+      metrics_.counter(metric::kPacketsDelivered).value();
+  const std::uint64_t bytes =
+      metrics_.counter(metric::kBytesDelivered).value();
+  out.offered_bps =
+      static_cast<double>(out.packets_generated * data_bytes) /
+      out.measured_seconds;
+  out.throughput_bps = static_cast<double>(bytes) / out.measured_seconds;
+  out.delivery_ratio =
+      out.packets_generated == 0
+          ? 1.0
+          : static_cast<double>(out.packets_delivered) /
+                static_cast<double>(out.packets_generated);
+  out.mean_active_fraction =
+      metrics_.gauge(metric::kMeanActiveFraction).last();
+  out.mean_latency_s = metrics_.gauge(metric::kMeanLatencyS).last();
+  out.metrics = metrics_.snapshot(sim_.now());
+  return out;
+}
+
+}  // namespace mhp

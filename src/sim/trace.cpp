@@ -1,6 +1,9 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
 #include <ostream>
+
+#include "util/assertx.hpp"
 
 namespace mhp {
 
@@ -20,9 +23,44 @@ const char* to_string(TraceCat cat) {
   return "?";
 }
 
+void OstreamTraceSink::on_entry(const TraceEntry& entry) {
+  os_ << entry.when << " [" << to_string(entry.cat) << "] " << entry.text
+      << "\n";
+}
+
+void Trace::set_max_entries(std::size_t n) {
+  MHP_REQUIRE(n >= 1, "trace ring needs room for at least one entry");
+  max_entries_ = n;
+  while (entries_.size() > max_entries_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Trace::add_sink(TraceSink* sink) {
+  MHP_REQUIRE(sink != nullptr, "null trace sink");
+  sinks_.push_back(sink);
+}
+
+void Trace::remove_sink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
+               sinks_.end());
+}
+
 void Trace::record(Time when, TraceCat cat, std::string text) {
   if (!enabled(cat)) return;
-  entries_.push_back(TraceEntry{when, cat, std::move(text)});
+  TraceEntry entry{when, cat, std::move(text)};
+  for (TraceSink* sink : sinks_) sink->on_entry(entry);
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > max_entries_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
+}
+
+void Trace::clear() {
+  entries_.clear();
+  dropped_ = 0;
 }
 
 std::vector<std::string> Trace::texts(TraceCat cat) const {

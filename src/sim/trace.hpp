@@ -1,8 +1,15 @@
 // Lightweight tracing: simulations record categorized entries that tests
 // can inspect and examples can print.  Disabled categories cost one branch.
+//
+// Two delivery paths exist: a bounded in-memory ring (the default; long
+// runs evict the oldest entries instead of growing without bound) and
+// pluggable sinks that observe every enabled entry as it is recorded —
+// e.g. OstreamTraceSink streams them to a log so nothing is lost even
+// when the ring wraps.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -27,18 +34,50 @@ struct TraceEntry {
   std::string text;
 };
 
+/// Observes entries as they are recorded (enabled categories only).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_entry(const TraceEntry& entry) = 0;
+};
+
+/// Streams each entry to an ostream in the same format as Trace::print.
+class OstreamTraceSink : public TraceSink {
+ public:
+  explicit OstreamTraceSink(std::ostream& os) : os_(os) {}
+  void on_entry(const TraceEntry& entry) override;
+
+ private:
+  std::ostream& os_;
+};
+
 class Trace {
  public:
+  /// Ring capacity unless set_max_entries() overrides it.
+  static constexpr std::size_t kDefaultMaxEntries = 1u << 20;
+
   /// All categories disabled by default (zero overhead unless asked for).
   void enable(TraceCat cat) { mask_ |= bit(cat); }
   void disable(TraceCat cat) { mask_ &= ~bit(cat); }
   void enable_all() { mask_ = ~0u; }
   bool enabled(TraceCat cat) const { return (mask_ & bit(cat)) != 0; }
 
+  /// Cap the in-memory ring; recording beyond it evicts the oldest
+  /// entries (sinks still see everything).  Requires n >= 1.
+  void set_max_entries(std::size_t n);
+  std::size_t max_entries() const { return max_entries_; }
+
+  /// Register a non-owning sink notified of every enabled entry.
+  void add_sink(TraceSink* sink);
+  void remove_sink(TraceSink* sink);
+
   void record(Time when, TraceCat cat, std::string text);
 
-  const std::vector<TraceEntry>& entries() const { return entries_; }
-  void clear() { entries_.clear(); }
+  /// The ring's current contents, oldest first.
+  const std::deque<TraceEntry>& entries() const { return entries_; }
+  /// Entries evicted from the ring so far (still delivered to sinks).
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
 
   /// Entries of one category, in order.
   std::vector<std::string> texts(TraceCat cat) const;
@@ -51,7 +90,10 @@ class Trace {
   }
 
   std::uint32_t mask_ = 0;
-  std::vector<TraceEntry> entries_;
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceEntry> entries_;
+  std::vector<TraceSink*> sinks_;
 };
 
 }  // namespace mhp

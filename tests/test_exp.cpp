@@ -2,7 +2,9 @@
 // count (per-point seeds, ordered results).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <functional>
+#include <string>
 
 #include "exp/sweep.hpp"
 #include "util/rng.hpp"
@@ -33,6 +35,48 @@ TEST(Sweep, WorkerCountDoesNotChangeResults) {
   const auto serial = mhp::exp::sweep<std::uint64_t, double>(points, fn, 1);
   const auto wide = mhp::exp::sweep<std::uint64_t, double>(points, fn, 8);
   EXPECT_EQ(serial, wide);
+}
+
+TEST(Sweep, FixedSeedSweepIsByteIdenticalAcrossWorkerCounts) {
+  // Serialise every result to full precision: the bytes — not just the
+  // rounded values — must match whatever the parallelism.
+  std::vector<std::uint64_t> points(32);
+  for (std::size_t i = 0; i < points.size(); ++i) points[i] = 7 * i + 1;
+  auto fn = std::function<std::string(const std::uint64_t&)>(
+      [](const std::uint64_t& seed) {
+        Rng rng(seed);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%llu", rng.uniform(),
+                      rng.exponential(3.0),
+                      static_cast<unsigned long long>(rng.below(1000)));
+        return std::string(buf);
+      });
+  std::string blobs[3];
+  std::size_t w = 0;
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const auto results =
+        mhp::exp::sweep<std::uint64_t, std::string>(points, fn, workers);
+    for (const auto& r : results) blobs[w] += r + "\n";
+    ++w;
+  }
+  EXPECT_EQ(blobs[0], blobs[1]);
+  EXPECT_EQ(blobs[0], blobs[2]);
+}
+
+TEST(Sweep, RuntimeOptionsReachEveryPoint) {
+  mhp::exp::SweepOptions opts;
+  opts.workers = 3;
+  opts.runtime.trace_max_entries = 123;
+  std::vector<int> points{1, 2, 3, 4, 5};
+  const auto results = mhp::exp::sweep<int, std::size_t>(
+      points,
+      std::function<std::size_t(const int&, const RuntimeOptions&)>(
+          [](const int&, const RuntimeOptions& rt) {
+            return rt.trace_max_entries;
+          }),
+      opts);
+  ASSERT_EQ(results.size(), points.size());
+  for (const auto r : results) EXPECT_EQ(r, 123u);
 }
 
 TEST(Sweep, EmptyPoints) {

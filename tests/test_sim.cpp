@@ -194,6 +194,62 @@ TEST(Trace, EnabledCategoryRecords) {
             std::vector<std::string>{"tx"});
 }
 
+TEST(Trace, RingStaysBoundedAndKeepsNewestEntries) {
+  Trace tr;
+  tr.enable_all();
+  tr.set_max_entries(64);
+  for (int i = 0; i < 1000; ++i)
+    tr.record(Time::us(i), TraceCat::kChannel, "e" + std::to_string(i));
+  EXPECT_EQ(tr.entries().size(), 64u);
+  EXPECT_EQ(tr.dropped(), 1000u - 64u);
+  EXPECT_EQ(tr.entries().front().text, "e936");
+  EXPECT_EQ(tr.entries().back().text, "e999");
+}
+
+TEST(Trace, ShrinkingCapEvictsExistingOldest) {
+  Trace tr;
+  tr.enable_all();
+  for (int i = 0; i < 10; ++i)
+    tr.record(Time::us(i), TraceCat::kChannel, "e" + std::to_string(i));
+  tr.set_max_entries(3);
+  ASSERT_EQ(tr.entries().size(), 3u);
+  EXPECT_EQ(tr.entries().front().text, "e7");
+  EXPECT_EQ(tr.dropped(), 7u);
+}
+
+TEST(Trace, ClearResetsEntriesAndDropCounter) {
+  Trace tr;
+  tr.enable_all();
+  tr.set_max_entries(2);
+  for (int i = 0; i < 5; ++i)
+    tr.record(Time::us(i), TraceCat::kChannel, "x");
+  tr.clear();
+  EXPECT_TRUE(tr.entries().empty());
+  EXPECT_EQ(tr.dropped(), 0u);
+  tr.record(Time::us(9), TraceCat::kChannel, "fresh");
+  EXPECT_EQ(tr.entries().size(), 1u);
+}
+
+TEST(Trace, SinksObserveEveryEnabledEntry) {
+  Trace tr;
+  tr.enable(TraceCat::kChannel);
+  tr.set_max_entries(2);
+  std::ostringstream os;
+  OstreamTraceSink sink(os);
+  tr.add_sink(&sink);
+  for (int i = 0; i < 6; ++i)
+    tr.record(Time::us(i), TraceCat::kChannel, "tx" + std::to_string(i));
+  tr.record(Time::us(7), TraceCat::kProtocol, "skip");  // disabled category
+  std::size_t lines = 0;
+  std::istringstream in(os.str());
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 6u);  // evicted entries were streamed before eviction
+  EXPECT_NE(os.str().find("tx0"), std::string::npos);
+  tr.remove_sink(&sink);
+  tr.record(Time::us(8), TraceCat::kChannel, "after-removal");
+  EXPECT_EQ(os.str().find("after-removal"), std::string::npos);
+}
+
 TEST(Trace, PrintIncludesCategory) {
   Trace tr;
   tr.enable_all();

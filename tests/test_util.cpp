@@ -250,6 +250,27 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   pool.parallel_for(0, [&](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ParallelForRunsEachIndexExactlyOnce) {
+  // Coverage alone would miss double execution; count every visit.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(257);
+  pool.parallel_for(visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 20; ++round)
+    pool.parallel_for(10, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, DefaultConstructionSpawnsAtLeastOneWorker) {
+  ThreadPool pool;  // workers = 0 means "pick for me"
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
 TEST(ThreadPool, SubmitAndWaitIdle) {
   ThreadPool pool(3);
   std::atomic<int> count{0};
