@@ -11,6 +11,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
@@ -31,6 +32,7 @@ std::size_t ack_phase_slots(const AckPlan& plan) {
 }  // namespace
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — ack collection: set-cover paths vs poll-everyone (§V-F)\n\n");
 
@@ -68,5 +70,6 @@ int main() {
                    cover_slots.mean(), naive_slots.mean()});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_ack_collection", table, recorder);
   return 0;
 }

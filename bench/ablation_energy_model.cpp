@@ -10,6 +10,7 @@
 #include "core/polling_simulation.hpp"
 #include "exp/fig_common.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
@@ -35,6 +36,7 @@ double max_power_under(const PollingSimulation& sim, std::size_t n,
 }  // namespace
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — energy-model sensitivity of the sectoring gain\n"
       "(one 30-sensor run per variant; dwell times re-priced under\n"
@@ -82,6 +84,7 @@ int main() {
                    p_plain / p_sect});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_energy_model", table, recorder);
   std::printf(
       "Reading: the sectoring gain needs sleep to be much cheaper than\n"
       "idle (the paper's premise); as sleep power approaches idle power\n"

@@ -14,6 +14,7 @@
 #include "net/deployment.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
@@ -95,6 +96,7 @@ void run_tsrf(Row& row, double edge_prob, std::uint64_t salt) {
 }  // namespace
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — greedy (Table 1) vs exact branch-and-bound schedules\n"
       "(the paper justifies greedy by NP-hardness; this measures the\n"
@@ -123,5 +125,6 @@ int main() {
                        static_cast<double>(r.trials)});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_greedy_vs_optimal", table, recorder);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/multi_cluster_sim.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
@@ -35,6 +36,7 @@ std::vector<ClusterSpec> make_field(std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — inter-cluster interference (§V-G): 2x2 adjacent "
       "clusters,\n12 sensors each, 40 B/s per sensor\n\n");
@@ -52,6 +54,7 @@ int main() {
     cfg.seed = 11;
     MultiClusterSimulation sim(make_field(11), cfg, mode, 40.0);
     const auto rep = sim.run(Time::sec(50), Time::sec(10));
+    recorder.add_events(rep.totals.events_processed);
     double worst = 1.0, active = 0.0;
     for (double d : rep.delivery_ratio) worst = std::min(worst, d);
     for (double a : rep.mean_active) active += a / rep.mean_active.size();
@@ -61,5 +64,6 @@ int main() {
                    100.0 * active});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_intercluster", table, recorder);
   return 0;
 }

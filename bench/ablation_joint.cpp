@@ -10,10 +10,12 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — joint routing+scheduling (exact) vs the paper's\n"
       "decomposition (max-flow routing, then greedy schedule)\n"
@@ -64,5 +66,6 @@ int main() {
                    100.0 * optimal_hits / std::max(instances, 1)});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_joint", table, recorder);
   return 0;
 }

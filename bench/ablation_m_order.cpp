@@ -13,10 +13,12 @@
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — compatibility order M: schedule length vs probing cost\n"
       "(30-sensor clusters; probes = groups tested during set-up, §V-E)\n\n");
@@ -57,5 +59,6 @@ int main() {
                    probes.mean(), slots.mean() / base_slots[0]});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_m_order", table, recorder);
   return 0;
 }

@@ -12,10 +12,12 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — request-order sensitivity of the Table-1 greedy\n"
       "(schedule slots across 50 random orders; restart-8 = best of 8\n"
@@ -75,5 +77,6 @@ int main() {
                    omax.mean(), spread.mean(), gain.mean()});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_order_sensitivity", table, recorder);
   return 0;
 }

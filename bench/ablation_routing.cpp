@@ -10,10 +10,12 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — load-balanced (max-flow) routing vs shortest paths\n"
       "(uniform clusters, 1 packet/sensor/cycle; lifetime ∝ 1/max load)\n\n");
@@ -44,5 +46,6 @@ int main() {
                    shortest.mean(), ratio, 100.0 * (ratio - 1.0)});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_routing", table, recorder);
   return 0;
 }

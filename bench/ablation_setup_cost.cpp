@@ -12,10 +12,12 @@
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — set-up slot budget, whole cluster vs sectors (M = 3)\n"
       "(discovery and connectivity are linear; probing is the "
@@ -74,5 +76,6 @@ int main() {
                    whole_s.mean() / sect_s.mean()});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_setup_cost", table, recorder);
   return 0;
 }

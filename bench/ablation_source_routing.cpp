@@ -14,10 +14,12 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 using namespace mhp;
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — source routing vs one-hop tables (§V-C)\n"
       "(4 bytes per remaining hop in the header; 200 kbps radio;\n"
@@ -71,6 +73,7 @@ int main() {
                    overhead_pct.mean(), entries.mean(), table_bytes.mean()});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("ablation_source_routing", table, recorder);
   std::printf(
       "Reading: source routing taxes every relayed byte forever; the\n"
       "one-hop tables cost a few dozen bytes of RAM at the busiest relay\n"

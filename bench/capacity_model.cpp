@@ -11,6 +11,7 @@
 #include "exp/fig_common.hpp"
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
+#include "exp/bench_json.hpp"
 
 namespace {
 
@@ -43,6 +44,7 @@ Result run_point(const Point& p) {
 }  // namespace
 
 int main() {
+  mhp::obs::RunRecorder recorder;
   using namespace mhp;
 
   std::printf(
@@ -69,6 +71,7 @@ int main() {
                    100.0 * results[i].delivery});
   }
   std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_bench_json("capacity_model", table, recorder);
 
   ProtocolConfig cfg;
   std::printf("predicted max cluster size (duty < 99%%):\n");

@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "exp/bench_json.hpp"
 #include "exp/fig_common.hpp"
 #include "exp/csv_out.hpp"
 #include "exp/sweep.hpp"
@@ -23,6 +24,7 @@ struct Point {
 struct Result {
   double active_pct = 0.0;
   double delivery_pct = 0.0;
+  std::uint64_t events = 0;
 };
 
 Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
@@ -35,13 +37,14 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
                         rt_opts);
   const auto rep = sim.run(Time::sec(40), Time::sec(10));
   return Result{100.0 * rep.mean_active_fraction,
-                100.0 * rep.delivery_ratio};
+                100.0 * rep.delivery_ratio, rep.events_processed};
 }
 
 }  // namespace
 
 int main() {
   using namespace mhp;
+  mhp::obs::RunRecorder recorder;
 
   const std::vector<double> rates = {20.0, 40.0, 60.0, 80.0};
   std::vector<Point> points;
@@ -82,5 +85,7 @@ int main() {
   }
   std::printf("%s\n", table.to_ascii().c_str());
   mhp::exp::save_csv("fig7a_active_time.csv", table);
+  for (const auto& r : results) recorder.add_events(r.events);
+  mhp::exp::save_bench_json("fig7a_active_time", table, recorder);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "baseline/smac_simulation.hpp"
+#include "exp/bench_json.hpp"
 #include "exp/fig_common.hpp"
 #include "exp/csv_out.hpp"
 #include "exp/sweep.hpp"
@@ -28,6 +29,7 @@ struct Point {
 struct Result {
   double throughput_bps = 0.0;
   double active_pct = 0.0;
+  std::uint64_t events = 0;
 };
 
 Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
@@ -46,6 +48,7 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
       const auto rep = sim.run(Time::sec(70), Time::sec(10));
       out.throughput_bps += rep.throughput_bps / kSeeds;
       out.active_pct += 100.0 * rep.mean_active_fraction / kSeeds;
+      out.events += rep.events_processed;
     } else {
       SmacConfig cfg;
       cfg.duty_cycle = p.smac_duty;
@@ -54,6 +57,7 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
       const auto rep = sim.run(Time::sec(70), Time::sec(10));
       out.throughput_bps += rep.throughput_bps / kSeeds;
       out.active_pct += 100.0 * rep.mean_active_fraction / kSeeds;
+      out.events += rep.events_processed;
     }
   }
   return out;
@@ -63,6 +67,7 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
 
 int main() {
   using namespace mhp;
+  mhp::obs::RunRecorder recorder;
 
   const std::vector<double> loads = {7.0, 25.0, 40.0};  // per sensor B/s
   struct Scheme {
@@ -112,5 +117,7 @@ int main() {
   }
   std::printf("%s\n", table.to_ascii().c_str());
   mhp::exp::save_csv("fig7b_throughput.csv", table);
+  for (const auto& r : results) recorder.add_events(r.events);
+  mhp::exp::save_bench_json("fig7b_throughput", table, recorder);
   return 0;
 }

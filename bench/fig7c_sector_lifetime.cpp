@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "exp/bench_json.hpp"
 #include "exp/fig_common.hpp"
 #include "exp/csv_out.hpp"
 #include "exp/sweep.hpp"
@@ -25,6 +26,7 @@ struct Result {
   double ratio = 0.0;
   double sectors = 0.0;
   double delivery_sectored = 0.0;
+  std::uint64_t events = 0;
 };
 
 /// Average over a few deployments per cluster size to smooth topology
@@ -49,6 +51,7 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
                                kRate, rt_opts);
     const auto rs = sectored.run(Time::sec(40), Time::sec(10));
 
+    out.events += rp.events_processed + rs.events_processed;
     out.sectors += static_cast<double>(rs.sectors) / kSeeds;
     out.delivery_sectored +=
         std::min(100.0, 100.0 * rs.delivery_ratio) / kSeeds;
@@ -62,6 +65,7 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
 
 int main() {
   using namespace mhp;
+  mhp::obs::RunRecorder recorder;
 
   std::vector<Point> points;
   for (std::size_t n = 10; n <= 50; n += 5) points.push_back({n});
@@ -88,5 +92,7 @@ int main() {
   }
   std::printf("%s\n", table.to_ascii().c_str());
   mhp::exp::save_csv("fig7c_sector_lifetime.csv", table);
+  for (const auto& r : results) recorder.add_events(r.events);
+  mhp::exp::save_bench_json("fig7c_sector_lifetime", table, recorder);
   return 0;
 }

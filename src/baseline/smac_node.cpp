@@ -345,6 +345,8 @@ void SmacNode::dispatch_data(BaselineData data) {
   }
   const NodeId dest = data.final_dest;
   data_queue_.push_back(std::move(data));
+  if (queue_hist_ != nullptr)
+    queue_hist_->observe(static_cast<double>(data_queue_.size()));
   if (!aodv_.next_hop(dest, sim_.now())) start_discovery();
   try_send();
 }
@@ -528,7 +530,10 @@ void SmacNode::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
       ++delivered_;
       bytes_delivered_ += cfg_.data_bytes;
       latency_s_.add((sim_.now() - data.generated_at).to_seconds());
+      if (latency_hist_ != nullptr)
+        latency_hist_->observe((sim_.now() - data.generated_at).to_seconds());
     } else {
+      ++relayed_;
       dispatch_data(data);  // forward toward the sink
     }
     return;
@@ -560,6 +565,7 @@ void SmacNode::reset_stats(Time now) {
   data_sent_ = 0;
   mac_failures_ = 0;
   rreq_sent_ = 0;
+  relayed_ = 0;
   latency_s_ = Accumulator{};
 }
 

@@ -23,6 +23,7 @@
 
 #include "baseline/aodv.hpp"
 #include "baseline/smac_config.hpp"
+#include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
@@ -83,6 +84,14 @@ class SmacNode : public ChannelListener {
   void settle(Time now) { tracker_.settle(now); }
   void reset_stats(Time now);
   const Accumulator& latency_s() const { return latency_s_; }
+  /// Data frames this node forwarded for other origins.
+  std::uint64_t packets_relayed() const { return relayed_; }
+
+  /// Registry distributions, mirrored on observation (nullptr = off;
+  /// pure observation — never perturbs behaviour).  Latency is observed
+  /// at the sink, queue depth whenever a data packet enters the queue.
+  void set_latency_histogram(HistogramMetric* h) { latency_hist_ = h; }
+  void set_queue_histogram(HistogramMetric* h) { queue_hist_ = h; }
 
  private:
   // kWaitCtrlAck: a routing unicast (RREP) awaiting its MAC ACK — routing
@@ -166,7 +175,10 @@ class SmacNode : public ChannelListener {
   std::uint64_t data_sent_ = 0;
   std::uint64_t mac_failures_ = 0;
   std::uint64_t rreq_sent_ = 0;
+  std::uint64_t relayed_ = 0;
   Accumulator latency_s_;
+  HistogramMetric* latency_hist_ = nullptr;
+  HistogramMetric* queue_hist_ = nullptr;
 };
 
 }  // namespace mhp

@@ -39,6 +39,19 @@ SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
                                               channel, rt_.uids(), cfg_,
                                               root.split(0),
                                               /*always_on=*/true));
+  // Distribution instrumentation: sink-side delivery latency, per-node
+  // queue depth.  References stay valid — begin_window resets in place.
+  MetricsRegistry& m = rt_.metrics();
+  HistogramMetric& latency_hist =
+      m.histogram(metric::kLatencyHistS, 0.0, 10.0, 64);
+  HistogramMetric& queue_hist = m.histogram(
+      metric::kQueueDepth, 0.0,
+      static_cast<double>(cfg_.queue_capacity + 1), cfg_.queue_capacity + 1);
+  for (auto& node : nodes_) {
+    node->set_latency_histogram(&latency_hist);
+    node->set_queue_histogram(&queue_hist);
+  }
+
   for (auto& node : nodes_) node->start();
   for (NodeId i = 0; i < n; ++i) nodes_[i]->start_cbr(rates_[i]);
 }
@@ -64,6 +77,7 @@ SmacReport SmacSimulation::run(Time duration, Time warmup) {
   const auto& sink = *nodes_.back();
   std::uint64_t generated = 0;
   double active_sum = 0.0;
+  MetricsRegistry& m = rt_.metrics();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     auto& node = *nodes_[i];
     node.settle(sim.now());
@@ -71,13 +85,22 @@ SmacReport SmacSimulation::run(Time duration, Time warmup) {
       generated += node.packets_generated();
       rep.packets_dropped += node.packets_dropped();
       active_sum += node.meter().active_fraction();
+      m.counter(node_metric(metric::kNodeRelayed, i))
+          .add(node.packets_relayed());
+      m.counter(node_metric(metric::kNodeFramesTx, i))
+          .add(node.data_frames_sent() + node.control_frames_sent());
+      m.gauge(node_metric(metric::kNodeEnergyJ, i))
+          .set(sim.now(), node.meter().total_energy_j());
+      m.gauge(node_metric(metric::kNodeAwakeS, i))
+          .set(sim.now(), (node.meter().total_time() -
+                           node.meter().time_in(RadioState::kSleep))
+                              .to_seconds());
     }
     rep.control_frames += node.control_frames_sent();
     rep.rreq_floods += node.rreqs_sent();
     rep.mac_failures += node.mac_failures();
   }
 
-  MetricsRegistry& m = rt_.metrics();
   m.counter(metric::kPacketsGenerated).add(generated);
   m.counter(metric::kPacketsDelivered).add(sink.packets_delivered());
   m.counter(metric::kBytesDelivered).add(sink.bytes_delivered());

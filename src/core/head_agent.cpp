@@ -307,6 +307,8 @@ void HeadAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
       ++packets_received_;
       bytes_received_ += frame.size_bytes;
       latency_s_.add((sim_.now() - p.generated_at).to_seconds());
+      if (latency_hist_ != nullptr)
+        latency_hist_->observe((sim_.now() - p.generated_at).to_seconds());
       break;
     }
     case FrameKind::kAck: {

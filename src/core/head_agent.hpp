@@ -20,6 +20,7 @@
 #include "core/protocol_messages.hpp"
 #include "core/routing.hpp"
 #include "core/sectors.hpp"
+#include "metrics/registry.hpp"
 #include "net/cluster.hpp"
 #include "net/packet.hpp"
 #include "radio/channel.hpp"
@@ -83,6 +84,11 @@ class HeadAgent : public ChannelListener {
   /// Mean packet delivery latency (generation to head reception).
   const Accumulator& latency_s() const { return latency_s_; }
   const EnergyMeter& meter() const { return tracker_.meter(); }
+
+  /// Mirror each delivery latency into `h` as well (nullptr = off), so
+  /// the registry gains a full distribution beside the Accumulator mean.
+  /// Pure observation — never perturbs behaviour.
+  void set_latency_histogram(HistogramMetric* h) { latency_hist_ = h; }
 
   void reset_stats(Time now);
 
@@ -149,6 +155,7 @@ class HeadAgent : public ChannelListener {
   std::uint64_t reactivations_ = 0;
   Accumulator duty_time_s_;
   Accumulator latency_s_;
+  HistogramMetric* latency_hist_ = nullptr;
 };
 
 }  // namespace mhp

@@ -88,6 +88,15 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                                           static_cast<std::int64_t>(
                                               num_clusters));
 
+  // Field-wide distributions: one latency histogram shared by every
+  // head, one queue-depth histogram shared by every sensor.
+  MetricsRegistry& m = rt_.metrics();
+  HistogramMetric& latency_hist = m.histogram(
+      metric::kLatencyHistS, 0.0, 20.0 * cfg_.cycle_period.to_seconds(), 64);
+  HistogramMetric& queue_hist = m.histogram(
+      metric::kQueueDepth, 0.0,
+      static_cast<double>(cfg_.queue_capacity + 1), cfg_.queue_capacity + 1);
+
   Rng& root = rt_.root_rng();
   clusters_.resize(num_clusters);
   for (std::size_t c = 0; c < num_clusters; ++c) {
@@ -144,12 +153,14 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
     rt.head_agent = std::make_unique<HeadAgent>(
         rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_, *rt.oracle,
         std::vector<SectorPlan>{sp}, root.split(1000 + c));
+    rt.head_agent->set_latency_histogram(&latency_hist);
     rt.sensors.reserve(n);
     for (NodeId s = 0; s < n; ++s) {
       auto agent = std::make_unique<SensorAgent>(
           base + s, rt_.sim(), channel, rt_.uids(), cfg_,
           root.split(c * 1000 + s + 1));
       agent->set_head(rt.head);
+      agent->set_queue_histogram(&queue_hist);
       agent->start_sampling(rate_bps);
       rt.sensors.push_back(std::move(agent));
     }
@@ -180,14 +191,31 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
   std::uint64_t total_generated = 0, total_delivered = 0, total_bytes = 0;
   double total_active = 0.0;
   std::size_t total_sensors = 0;
+  MetricsRegistry& m = rt_.metrics();
+  // Channel-local ids collide across colour groups, so per-node series
+  // use field-wide ids: sensors numbered consecutively cluster by cluster.
+  std::uint64_t field_base = 0;
   for (auto& rt : clusters_) {
     std::uint64_t generated = 0;
     double active = 0.0;
-    for (auto& s : rt.sensors) {
+    for (std::size_t i = 0; i < rt.sensors.size(); ++i) {
+      auto& s = rt.sensors[i];
       s->settle(sim.now());
       generated += s->packets_generated();
       active += s->meter().active_fraction();
+      const std::uint64_t id = field_base + i;
+      m.counter(node_metric(metric::kNodeRelayed, id))
+          .add(s->packets_relayed());
+      m.counter(node_metric(metric::kNodeFramesTx, id))
+          .add(s->frames_sent());
+      m.gauge(node_metric(metric::kNodeEnergyJ, id))
+          .set(sim.now(), s->meter().total_energy_j());
+      m.gauge(node_metric(metric::kNodeAwakeS, id))
+          .set(sim.now(), (s->meter().total_time() -
+                           s->meter().time_in(RadioState::kSleep))
+                              .to_seconds());
     }
+    field_base += rt.sensors.size();
     const std::uint64_t delivered = rt.head_agent->packets_received();
     rep.delivery_ratio.push_back(
         generated == 0 ? 1.0
@@ -209,7 +237,6 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
       static_cast<double>(total_bytes) / (duration - warmup).to_seconds();
 
   // Field-wide totals via the shared registry.
-  MetricsRegistry& m = rt_.metrics();
   m.counter(metric::kPacketsGenerated).add(total_generated);
   m.counter(metric::kPacketsDelivered).add(total_delivered);
   m.counter(metric::kBytesDelivered).add(total_bytes);

@@ -92,7 +92,10 @@ void PollingSimulation::setup(const Deployment& deployment) {
     demand[s] = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(std::llround(std::ceil(per_cycle))));
   }
-  plan_ = std::make_unique<RelayPlan>(RelayPlan::balanced(*topo_, demand));
+  plan_ = std::make_unique<RelayPlan>(
+      cfg_.routing == RoutingPolicy::kShortestPath
+          ? RelayPlan::shortest(*topo_, demand)
+          : RelayPlan::balanced(*topo_, demand));
 
   truth_ = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
 
@@ -161,6 +164,17 @@ void PollingSimulation::setup(const Deployment& deployment) {
                                         std::move(sector_plans),
                                         root.split(0), &rt_.trace());
   }
+  // Distribution instrumentation: delivery latency at the head, queue
+  // depth at every sensor.  Registry metrics reset in place on
+  // begin_window, so these references stay valid for the run.
+  MetricsRegistry& m = rt_.metrics();
+  HistogramMetric& latency_hist = m.histogram(
+      metric::kLatencyHistS, 0.0, 20.0 * cfg_.cycle_period.to_seconds(), 64);
+  head_->set_latency_histogram(&latency_hist);
+  HistogramMetric& queue_hist = m.histogram(
+      metric::kQueueDepth, 0.0,
+      static_cast<double>(cfg_.queue_capacity + 1), cfg_.queue_capacity + 1);
+
   sensors_.reserve(n);
   for (NodeId s = 0; s < n; ++s) {
     auto agent = std::make_unique<SensorAgent>(s, rt_.sim(), channel,
@@ -168,6 +182,7 @@ void PollingSimulation::setup(const Deployment& deployment) {
                                                root.split(s + 1));
     agent->set_sector(sector_of[s]);
     agent->set_head(topo_->head());
+    agent->set_queue_histogram(&queue_hist);
     agent->start_sampling(rates_[s]);
     sensors_.push_back(std::move(agent));
   }
@@ -191,6 +206,7 @@ SimulationReport PollingSimulation::run(Time duration, Time warmup) {
   std::uint64_t generated = 0;
   std::uint64_t overflow = 0;
   double active_sum = 0.0, power_sum = 0.0;
+  MetricsRegistry& m = rt_.metrics();
   for (auto& s : sensors_) {
     s->settle(sim.now());
     generated += s->packets_generated();
@@ -201,13 +217,23 @@ SimulationReport PollingSimulation::run(Time duration, Time warmup) {
     power_sum += power;
     rep.max_active_fraction = std::max(rep.max_active_fraction, active);
     rep.max_sensor_power_w = std::max(rep.max_sensor_power_w, power);
+    // Per-node accounting (labeled series; see registry node_metric).
+    const NodeId id = s->id();
+    m.counter(node_metric(metric::kNodeRelayed, id))
+        .add(s->packets_relayed());
+    m.counter(node_metric(metric::kNodeFramesTx, id)).add(s->frames_sent());
+    m.gauge(node_metric(metric::kNodeEnergyJ, id))
+        .set(sim.now(), s->meter().total_energy_j());
+    m.gauge(node_metric(metric::kNodeAwakeS, id))
+        .set(sim.now(), (s->meter().total_time() -
+                         s->meter().time_in(RadioState::kSleep))
+                            .to_seconds());
   }
   const auto n = static_cast<double>(sensors_.size());
   rep.mean_sensor_power_w = power_sum / n;
 
   // Mirror the stack's totals into the runtime registry; the shared
   // report core is then populated from it.
-  MetricsRegistry& m = rt_.metrics();
   m.counter(metric::kPacketsGenerated).add(generated);
   m.counter(metric::kPacketsDelivered).add(head_->packets_received());
   m.counter(metric::kBytesDelivered).add(head_->bytes_received());

@@ -19,6 +19,14 @@ enum class PropagationModel {
   kLogNormalShadowing,
 };
 
+/// How the head computes relaying paths.  The paper's scheme is the
+/// min-max-load max-flow routing (§III-A); hop-count shortest paths are
+/// the ablation baseline whose worst relay carries measurably more load.
+enum class RoutingPolicy {
+  kBalancedMaxFlow,
+  kShortestPath,
+};
+
 struct ProtocolConfig {
   /// Wake-up period (time between consecutive duty cycles).
   Time cycle_period = Time::ms(1000);
@@ -39,6 +47,10 @@ struct ProtocolConfig {
 
   /// Compatibility knowledge order M (§III-B suggests 2 or 3).
   int oracle_order = 3;
+
+  /// Relaying-path computation (kBalancedMaxFlow is the paper's §III-A
+  /// scheme; kShortestPath the ablation baseline).
+  RoutingPolicy routing = RoutingPolicy::kBalancedMaxFlow;
 
   /// Divide the cluster into sectors (§IV) instead of draining it whole.
   bool use_sectors = false;

@@ -45,6 +45,8 @@ void SensorAgent::generate_packet() {
   p.seq = seq_++;
   p.generated_at = sim_.now();
   queue_.push_back(std::move(p));
+  if (queue_hist_ != nullptr)
+    queue_hist_->observe(static_cast<double>(queue_.size()));
   const double interval_s =
       static_cast<double>(cfg_.data_bytes) / rate_bytes_per_s_;
   sim_.after(Time::seconds(interval_s), [this] { generate_packet(); });
@@ -134,6 +136,7 @@ void SensorAgent::transmit_data(const PollAssignment& a) {
     if (it != relay_data_.end()) payload = it->second;
   }
   if (!payload) return;  // nothing to send: upstream loss or empty queue
+  if (!a.is_origin) ++relayed_;
   send_frame(FrameKind::kData, a.to, cfg_.data_bytes, *payload);
 }
 
@@ -208,6 +211,7 @@ void SensorAgent::reset_stats(Time now) {
   generated_ = 0;
   dropped_ = 0;
   frames_sent_ = 0;
+  relayed_ = 0;
 }
 
 }  // namespace mhp

@@ -12,6 +12,7 @@
 
 #include "core/protocol_config.hpp"
 #include "core/protocol_messages.hpp"
+#include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
@@ -58,7 +59,14 @@ class SensorAgent : public ChannelListener {
   std::uint64_t packets_generated() const { return generated_; }
   std::uint64_t packets_dropped_overflow() const { return dropped_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
+  /// Data frames this sensor forwarded on behalf of other origins.
+  std::uint64_t packets_relayed() const { return relayed_; }
   bool asleep() const { return asleep_; }
+
+  /// Observe each post-sample queue depth into `h` (nullptr = off).  Safe
+  /// across begin_window: the registry resets metrics in place, so the
+  /// pointer stays valid.  Pure observation — never perturbs behaviour.
+  void set_queue_histogram(HistogramMetric* h) { queue_hist_ = h; }
 
  private:
   void handle_control(const ControlPayload& ctrl);
@@ -97,6 +105,8 @@ class SensorAgent : public ChannelListener {
   std::uint64_t generated_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t frames_sent_ = 0;
+  std::uint64_t relayed_ = 0;
+  HistogramMetric* queue_hist_ = nullptr;
 };
 
 }  // namespace mhp

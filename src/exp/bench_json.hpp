@@ -1,0 +1,57 @@
+// JSON bench reports: every figure/ablation harness writes a
+// BENCH_<name>.json beside its CSV so tooling can diff sweeps without
+// scraping ASCII.  Layout:
+//   {"schema":1,"bench":<name>,
+//    "run":{"wall_seconds":..,"events_processed":..,"events_per_sec":..},
+//    "points":[{<header>:<cell>, ...}, ...]}
+// Cells keep their Table type: strings stay strings, integers integers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <variant>
+
+#include "obs/json.hpp"
+#include "obs/report_json.hpp"
+#include "obs/run_recorder.hpp"
+#include "util/table.hpp"
+
+namespace mhp::exp {
+
+inline obs::Json bench_json(const std::string& bench, const Table& table,
+                            const obs::RunRecorder& recorder) {
+  obs::Json points = obs::Json::array();
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    obs::Json row = obs::Json::object();
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const Cell& cell = table.at(r, c);
+      obs::Json value;
+      if (const auto* s = std::get_if<std::string>(&cell))
+        value = obs::Json(*s);
+      else if (const auto* i = std::get_if<long long>(&cell))
+        value = obs::Json(*i);
+      else
+        value = obs::Json(std::get<double>(cell));
+      row.set(table.headers().at(c), std::move(value));
+    }
+    points.push_back(std::move(row));
+  }
+  return obs::Json::object()
+      .set("schema", obs::Json(obs::kReportSchemaVersion))
+      .set("bench", obs::Json(bench))
+      .set("run", recorder.to_json())
+      .set("points", std::move(points));
+}
+
+/// Write BENCH_<bench>.json (or to `path` when given).  Best-effort like
+/// save_csv: a one-line note either way, false on failure.
+inline bool save_bench_json(const std::string& bench, const Table& table,
+                            const obs::RunRecorder& recorder,
+                            std::string path = {}) {
+  if (path.empty()) path = "BENCH_" + bench + ".json";
+  const bool ok = obs::save_json(path, bench_json(bench, table, recorder));
+  if (ok) std::printf("(bench report saved to %s)\n", path.c_str());
+  return ok;
+}
+
+}  // namespace mhp::exp

@@ -9,13 +9,18 @@
 
 namespace mhp::exp {
 
-/// Write `table` to `path` (CSV).  Best-effort: prints a note on success
-/// and stays silent on failure (benches must run in read-only sandboxes).
-inline void save_csv(const std::string& path, const Table& table) {
+/// Write `table` to `path` (CSV).  Best-effort — benches may run in
+/// read-only sandboxes — but failures are reported: one note either way.
+/// Returns false when the file could not be (fully) written.
+inline bool save_csv(const std::string& path, const Table& table) {
   std::ofstream out(path);
-  if (!out) return;
-  out << table.to_csv();
-  if (out.good()) std::printf("(series saved to %s)\n", path.c_str());
+  if (out) out << table.to_csv();
+  if (!out.good()) {
+    std::printf("note: failed to write CSV to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("(series saved to %s)\n", path.c_str());
+  return true;
 }
 
 }  // namespace mhp::exp

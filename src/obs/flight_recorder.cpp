@@ -1,0 +1,50 @@
+#include "obs/flight_recorder.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "sim/runtime.hpp"
+#include "sim/trace.hpp"
+
+namespace mhp::obs {
+
+FlightRecorder::FlightRecorder(const SimRuntime& rt, Options opts)
+    : rt_(rt), opts_(opts) {
+  hook_token_ = add_contract_failure_hook(
+      [this](const ContractFailureInfo& info) {
+        if (dumped_) return;  // one post-mortem per recorder
+        dumped_ = true;
+        std::ostream& os = opts_.out != nullptr ? *opts_.out : std::cerr;
+        dump(os, &info);
+      });
+}
+
+FlightRecorder::~FlightRecorder() { remove_contract_failure_hook(hook_token_); }
+
+void FlightRecorder::dump(std::ostream& os,
+                          const ContractFailureInfo* info) const {
+  os << "=== flight recorder: contract failure post-mortem ===\n";
+  if (info != nullptr) {
+    os << info->kind << " failed: (" << info->expr << ") at " << info->file
+       << ":" << info->line;
+    if (!info->message.empty()) os << " — " << info->message;
+    os << "\n";
+  }
+  os << "sim time: " << rt_.sim().now() << ", events executed: "
+     << rt_.sim().events_executed() << "\n";
+
+  const auto& entries = rt_.trace().entries();
+  const std::size_t tail =
+      entries.size() < opts_.tail_entries ? entries.size()
+                                          : opts_.tail_entries;
+  os << "--- trace tail (" << tail << " of " << entries.size()
+     << " ringed entries, " << rt_.trace().dropped() << " evicted) ---\n";
+  for (std::size_t i = entries.size() - tail; i < entries.size(); ++i)
+    format_trace_entry(os, entries[i]);
+
+  os << "--- metrics snapshot ---\n";
+  rt_.metrics().snapshot(rt_.sim().now()).print(os);
+  os << "=== end flight recorder ===\n";
+}
+
+}  // namespace mhp::obs

@@ -1,0 +1,52 @@
+// Crash flight recorder: while armed, any MHP_REQUIRE / MHP_ENSURE
+// failure dumps post-mortem state — the failing contract, the tail of
+// the runtime's trace ring and a metrics snapshot — before the
+// ContractViolation propagates.  Attach one around a run you are
+// debugging; the dump lands on stderr (or Options::out) exactly once
+// per recorder, so a cascade of failures doesn't flood the log.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "util/assertx.hpp"
+
+namespace mhp {
+class SimRuntime;
+}
+
+namespace mhp::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// How many of the newest trace entries the dump includes.
+    std::size_t tail_entries = 64;
+    /// Dump destination; nullptr means stderr.
+    std::ostream* out = nullptr;
+  };
+
+  /// Arms a contract-failure hook observing `rt`.  The runtime must
+  /// outlive the recorder.
+  explicit FlightRecorder(const SimRuntime& rt) : FlightRecorder(rt, Options{}) {}
+  FlightRecorder(const SimRuntime& rt, Options opts);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Write the post-mortem (trace tail + metrics snapshot) to `os`.
+  /// Called automatically on contract failure; public so tooling can
+  /// trigger a dump on its own signal.
+  void dump(std::ostream& os, const ContractFailureInfo* info = nullptr) const;
+
+  bool dumped() const { return dumped_; }
+
+ private:
+  const SimRuntime& rt_;
+  Options opts_;
+  int hook_token_ = -1;
+  bool dumped_ = false;
+};
+
+}  // namespace mhp::obs

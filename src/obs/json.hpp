@@ -1,0 +1,113 @@
+// Dependency-free JSON layer for the observability exporters: a value
+// tree (Json), a deterministic writer, and a strict parser.
+//
+// Objects preserve insertion order so serialized reports diff cleanly
+// run to run.  Numbers distinguish integers from doubles: counters
+// round-trip exactly, doubles print with max_digits10 so parsing the
+// output reproduces the bit pattern.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mhp::obs {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  /// Counters are uint64; values beyond int64 are unrepresentable in the
+  /// common JSON integer range and throw rather than silently wrap.
+  Json(unsigned long v);
+  Json(unsigned long long v);
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  /// Numeric value of either number flavour.
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // --- array ---
+  void push_back(Json value);
+  std::size_t size() const;  // array/object element count
+  const Json& at(std::size_t index) const;
+
+  // --- object (insertion-ordered) ---
+  /// Insert or overwrite; returns *this so reports chain .set() calls.
+  Json& set(std::string key, Json value);
+  /// nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Throws std::out_of_range when absent.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Serialize.  indent < 0 → compact single line; otherwise pretty-print
+  /// with `indent` spaces per level.
+  void write(std::ostream& os, int indent = -1) const;
+  std::string dump(int indent = -1) const;
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Strict parse of one JSON document (trailing non-whitespace is an
+/// error).  Throws JsonParseError with position information.
+Json parse_json(std::string_view text);
+
+std::ostream& operator<<(std::ostream& os, const Json& value);
+
+}  // namespace mhp::obs

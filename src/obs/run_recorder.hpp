@@ -1,0 +1,57 @@
+// Host-side run accounting for benches and reports: wall-clock duration
+// (steady_clock) plus a tally of simulator events processed, reduced to
+// events/sec.  SimRuntime stamps the same fields into every RunStats for
+// a single simulation; RunRecorder covers a whole sweep of them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/json.hpp"
+
+namespace mhp::obs {
+
+class RunRecorder {
+ public:
+  /// Construction starts the wall clock.
+  RunRecorder() : begin_(std::chrono::steady_clock::now()) {}
+
+  /// Fold one simulation's event count (RunStats::events_processed) into
+  /// the sweep total.
+  void add_events(std::uint64_t n) { events_ += n; }
+
+  /// Restart the clock and zero the event tally.
+  void restart() {
+    begin_ = std::chrono::steady_clock::now();
+    events_ = 0;
+  }
+
+  std::uint64_t events() const { return events_; }
+
+  double wall_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin_)
+        .count();
+  }
+
+  double events_per_sec() const {
+    const double w = wall_seconds();
+    return w > 0.0 ? static_cast<double>(events_) / w : 0.0;
+  }
+
+  /// {"wall_seconds":..,"events_processed":..,"events_per_sec":..} — the
+  /// same layout RunStats serializes under "run".  Non-deterministic by
+  /// nature; consumers must not golden-test these values.
+  Json to_json() const {
+    return Json::object()
+        .set("wall_seconds", Json(wall_seconds()))
+        .set("events_processed", Json(events_))
+        .set("events_per_sec", Json(events_per_sec()));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace mhp::obs

@@ -5,16 +5,21 @@
 namespace mhp {
 
 SimRuntime::SimRuntime(std::uint64_t seed, const RuntimeOptions& opts)
-    : root_rng_(seed) {
+    : root_rng_(seed), wall_begin_(std::chrono::steady_clock::now()) {
   trace_.set_max_entries(opts.trace_max_entries);
   if (opts.trace_stream != nullptr) {
     stream_sink_ = std::make_unique<OstreamTraceSink>(*opts.trace_stream);
     trace_.add_sink(stream_sink_.get());
   }
+  if (opts.trace_jsonl_stream != nullptr) {
+    jsonl_sink_ = std::make_unique<JsonlTraceSink>(*opts.trace_jsonl_stream);
+    trace_.add_sink(jsonl_sink_.get());
+  }
 }
 
 SimRuntime::~SimRuntime() {
   if (stream_sink_) trace_.remove_sink(stream_sink_.get());
+  if (jsonl_sink_) trace_.remove_sink(jsonl_sink_.get());
 }
 
 Propagation& SimRuntime::adopt_propagation(
@@ -48,6 +53,8 @@ void SimRuntime::begin_measurement() {
   frames_at_window_begin_ = 0;
   for (const auto& ch : channels_)
     frames_at_window_begin_ += ch->frames_transmitted();
+  wall_begin_ = std::chrono::steady_clock::now();
+  events_at_window_begin_ = sim_.events_executed();
 }
 
 RunStats SimRuntime::collect_run_stats(Time measured,
@@ -78,6 +85,27 @@ RunStats SimRuntime::collect_run_stats(Time measured,
   out.mean_active_fraction =
       metrics_.gauge(metric::kMeanActiveFraction).last();
   out.mean_latency_s = metrics_.gauge(metric::kMeanLatencyS).last();
+  if (const HistogramMetric* h = metrics_.find_histogram(metric::kLatencyHistS);
+      h != nullptr && h->count() > 0) {
+    out.latency_p50_s = h->quantile(0.50);
+    out.latency_p95_s = h->quantile(0.95);
+    out.latency_p99_s = h->quantile(0.99);
+  }
+  if (const HistogramMetric* h = metrics_.find_histogram(metric::kQueueDepth);
+      h != nullptr && h->count() > 0) {
+    out.queue_depth_p50 = h->quantile(0.50);
+    out.queue_depth_p95 = h->quantile(0.95);
+    out.queue_depth_p99 = h->quantile(0.99);
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin_)
+          .count();
+  out.events_processed = sim_.events_executed() - events_at_window_begin_;
+  out.events_per_sec =
+      out.wall_seconds > 0.0
+          ? static_cast<double>(out.events_processed) / out.wall_seconds
+          : 0.0;
   out.metrics = metrics_.snapshot(sim_.now());
   return out;
 }

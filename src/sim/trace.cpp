@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 #include "util/assertx.hpp"
@@ -23,9 +24,60 @@ const char* to_string(TraceCat cat) {
   return "?";
 }
 
+void format_trace_entry(std::ostream& os, const TraceEntry& entry) {
+  os << entry.when << " [" << to_string(entry.cat) << "] " << entry.text
+     << "\n";
+}
+
 void OstreamTraceSink::on_entry(const TraceEntry& entry) {
-  os_ << entry.when << " [" << to_string(entry.cat) << "] " << entry.text
-      << "\n";
+  format_trace_entry(os_, entry);
+}
+
+namespace {
+
+// Minimal JSON string escaping for the JSONL sink.  (The full JSON layer
+// lives in src/obs; the sim substrate stays below it, so the sink carries
+// its own escaper for the one string field it writes.)
+void write_json_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void JsonlTraceSink::on_entry(const TraceEntry& entry) {
+  os_ << "{\"t_s\":" << entry.when.to_seconds() << ",\"cat\":\""
+      << to_string(entry.cat) << "\",\"text\":";
+  write_json_escaped(os_, entry.text);
+  os_ << "}\n";
 }
 
 void Trace::set_max_entries(std::size_t n) {
@@ -71,8 +123,7 @@ std::vector<std::string> Trace::texts(TraceCat cat) const {
 }
 
 void Trace::print(std::ostream& os) const {
-  for (const auto& e : entries_)
-    os << e.when << " [" << to_string(e.cat) << "] " << e.text << "\n";
+  for (const auto& e : entries_) format_trace_entry(os, e);
 }
 
 }  // namespace mhp

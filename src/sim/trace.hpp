@@ -34,6 +34,11 @@ struct TraceEntry {
   std::string text;
 };
 
+/// The one canonical text rendering — "time [cat] text\n" — used by both
+/// Trace::print and OstreamTraceSink (the JSONL sink is the only other
+/// format).
+void format_trace_entry(std::ostream& os, const TraceEntry& entry);
+
 /// Observes entries as they are recorded (enabled categories only).
 class TraceSink {
  public:
@@ -45,6 +50,18 @@ class TraceSink {
 class OstreamTraceSink : public TraceSink {
  public:
   explicit OstreamTraceSink(std::ostream& os) : os_(os) {}
+  void on_entry(const TraceEntry& entry) override;
+
+ private:
+  std::ostream& os_;
+};
+
+/// Streams each entry as one JSON object per line:
+/// {"t_s":1.234,"cat":"protocol","text":"..."} — machine-readable trace
+/// export for long runs (the ring stays bounded, the file keeps it all).
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
   void on_entry(const TraceEntry& entry) override;
 
  private:

@@ -1,0 +1,70 @@
+#include "util/assertx.hpp"
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace mhp {
+namespace {
+
+struct HookEntry {
+  int token;
+  std::function<void(const ContractFailureInfo&)> fn;
+};
+
+std::mutex& hook_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<HookEntry>& hooks() {
+  static std::vector<HookEntry> h;
+  return h;
+}
+
+}  // namespace
+
+int add_contract_failure_hook(
+    std::function<void(const ContractFailureInfo&)> hook) {
+  static int next_token = 1;
+  std::lock_guard<std::mutex> lock(hook_mutex());
+  const int token = next_token++;
+  hooks().push_back({token, std::move(hook)});
+  return token;
+}
+
+void remove_contract_failure_hook(int token) {
+  std::lock_guard<std::mutex> lock(hook_mutex());
+  auto& h = hooks();
+  for (auto it = h.begin(); it != h.end(); ++it) {
+    if (it->token == token) {
+      h.erase(it);
+      return;
+    }
+  }
+}
+
+namespace detail {
+
+void notify_contract_failure(const ContractFailureInfo& info) noexcept {
+  // A hook whose dump itself violates a contract must not recurse.
+  thread_local bool notifying = false;
+  if (notifying) return;
+  notifying = true;
+  std::vector<std::function<void(const ContractFailureInfo&)>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex());
+    for (auto it = hooks().rbegin(); it != hooks().rend(); ++it)
+      snapshot.push_back(it->fn);
+  }
+  for (const auto& fn : snapshot) {
+    try {
+      fn(info);
+    } catch (...) {
+    }
+  }
+  notifying = false;
+}
+
+}  // namespace detail
+}  // namespace mhp

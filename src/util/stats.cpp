@@ -78,6 +78,19 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  MHP_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_ &&
+                  other.bins() == bins(),
+              "merging histograms of different shape");
+  for (std::size_t i = 0; i < bins(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(bins());

@@ -49,8 +49,16 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
+
+  /// Zero every bin, keeping the range and bin count.
+  void clear();
+
+  /// Add `other`'s counts bin by bin; ranges and bin counts must match.
+  void merge(const Histogram& other);
 
   /// Approximate quantile (q in [0,1]) from bin midpoints.
   double quantile(double q) const;

@@ -24,6 +24,7 @@ class Table {
 
   std::size_t rows() const { return rows_.size(); }
   std::size_t cols() const { return headers_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
   const Cell& at(std::size_t r, std::size_t c) const;
 
   /// Render as an aligned ASCII table with a header rule.

@@ -1,0 +1,435 @@
+// Observability layer tests: the JSON value/writer/parser, report
+// exporters for all three simulation stacks, per-node labeled series,
+// histogram metrics, the JSONL trace sink, bench reports and the crash
+// flight recorder.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "baseline/smac_simulation.hpp"
+#include "core/multi_cluster_sim.hpp"
+#include "core/polling_simulation.hpp"
+#include "exp/bench_json.hpp"
+#include "metrics/registry.hpp"
+#include "net/deployment.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
+#include "obs/report_json.hpp"
+#include "obs/run_recorder.hpp"
+#include "sim/runtime.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+
+namespace mhp {
+namespace {
+
+using obs::Json;
+using obs::parse_json;
+
+// ---------- Json value tree ----------
+
+TEST(Json, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_EQ(Json(42).as_int(), 42);
+  EXPECT_EQ(Json(std::uint64_t{7}).as_uint(), 7u);
+  EXPECT_DOUBLE_EQ(Json(2.5).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json(3).as_double(), 3.0);  // int reads as number too
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  EXPECT_THROW(Json("hi").as_int(), std::logic_error);
+  EXPECT_THROW(Json(-1).as_uint(), std::out_of_range);
+  // uint64 beyond int64 is unrepresentable: throws, never wraps.
+  EXPECT_THROW(Json(~std::uint64_t{0}), std::overflow_error);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json o = Json::object();
+  o.set("zebra", Json(1)).set("apple", Json(2)).set("mango", Json(3));
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.items()[0].first, "zebra");
+  EXPECT_EQ(o.items()[1].first, "apple");
+  EXPECT_EQ(o.items()[2].first, "mango");
+  o.set("apple", Json(9));  // overwrite keeps position
+  EXPECT_EQ(o.items()[1].first, "apple");
+  EXPECT_EQ(o.at("apple").as_int(), 9);
+  EXPECT_EQ(o.find("missing"), nullptr);
+  EXPECT_THROW(o.at("missing"), std::out_of_range);
+}
+
+TEST(Json, CompactAndPrettyWriting) {
+  Json o = Json::object();
+  o.set("n", Json(1)).set("s", Json("x"));
+  Json arr = Json::array();
+  arr.push_back(Json(true));
+  arr.push_back(Json());
+  o.set("a", std::move(arr));
+  EXPECT_EQ(o.dump(), "{\"n\":1,\"s\":\"x\",\"a\":[true,null]}");
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find("{\n  \"n\": 1,"), std::string::npos);
+}
+
+TEST(Json, EscapingRoundTrips) {
+  const std::string nasty = "quote\" slash\\ nl\n tab\t ctl\x01 end";
+  const Json v(nasty);
+  const std::string text = v.dump();
+  EXPECT_EQ(parse_json(text).as_string(), nasty);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  // Integers stay integers; doubles reparse to the same bit pattern.
+  EXPECT_TRUE(parse_json("123").is_int());
+  EXPECT_FALSE(parse_json("123.0").is_int());
+  EXPECT_EQ(parse_json(Json(1234567890123456789LL).dump()).as_int(),
+            1234567890123456789LL);
+  const double tricky = 245.33333333333331;
+  EXPECT_EQ(parse_json(Json(tricky).dump()).as_double(), tricky);
+  EXPECT_EQ(parse_json("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_double(), 1000.0);
+}
+
+TEST(Json, ParserIsStrict) {
+  EXPECT_THROW(parse_json(""), obs::JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), obs::JsonParseError);
+  EXPECT_THROW(parse_json("[1 2]"), obs::JsonParseError);
+  EXPECT_THROW(parse_json("tru"), obs::JsonParseError);
+  EXPECT_THROW(parse_json("{} trailing"), obs::JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), obs::JsonParseError);
+  // Nested structures parse fine.
+  const Json v = parse_json(R"({"a":[1,{"b":null}], "c":"é"})");
+  EXPECT_EQ(v.at("a").at(1).at("b").type(), Json::Type::kNull);
+  EXPECT_EQ(v.at("c").as_string(), "\xc3\xa9");  // UTF-8 é
+}
+
+// ---------- Histogram metric + labeled series ----------
+
+TEST(Metrics, HistogramQuantilesAndMoments) {
+  MetricsRegistry m;
+  HistogramMetric& h = m.histogram("lat", 0.0, 10.0, 100);
+  for (int i = 1; i <= 100; ++i) h.observe(i / 10.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_NEAR(h.mean(), 5.05, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 0.2);
+  // Same name returns the same histogram; shape params ignored after
+  // first use.
+  EXPECT_EQ(&m.histogram("lat", 0.0, 1.0, 2), &h);
+  const MetricsSnapshot snap = m.snapshot(Time::sec(1));
+  EXPECT_EQ(snap.histogram("lat").count, 100u);
+  EXPECT_NEAR(snap.histogram("lat").p50, 5.0, 0.2);
+  EXPECT_EQ(snap.histogram("absent").count, 0u);
+}
+
+TEST(Metrics, NodeMetricNamesRoundTripThroughSnapshots) {
+  EXPECT_EQ(node_metric("node.energy_j", 7), "node.energy_j{node=7}");
+  MetricsRegistry m;
+  m.counter(node_metric("node.packets_relayed", 0)).add(5);
+  m.counter(node_metric("node.packets_relayed", 12)).add(9);
+  m.counter("node.packets_relayed_other{node=1}").add(99);  // different base
+  m.gauge(node_metric("node.energy_j", 3)).set(Time::sec(1), 0.25);
+  const MetricsSnapshot snap = m.snapshot(Time::sec(2));
+  const auto relayed = snap.labeled_counters("node.packets_relayed");
+  ASSERT_EQ(relayed.size(), 2u);
+  EXPECT_EQ(relayed.at(0), 5u);
+  EXPECT_EQ(relayed.at(12), 9u);
+  const auto energy = snap.labeled_gauges("node.energy_j");
+  ASSERT_EQ(energy.size(), 1u);
+  EXPECT_DOUBLE_EQ(energy.at(3), 0.25);
+}
+
+// ---------- Report serialization: all three stacks ----------
+
+Deployment small_deployment(std::uint64_t seed, std::size_t n = 10) {
+  Rng rng(seed);
+  return deploy_connected_uniform_square(n, 150.0, 60.0, rng);
+}
+
+/// Serialize, reparse, and check the envelope plus exact round-trip of
+/// the standard metric:: counters.  `stats_key` descends one level first
+/// for reports whose RunStats is nested (multi-cluster "totals").
+Json roundtrip_and_check(const Json& doc, const char* kind,
+                         const MetricsSnapshot& snap,
+                         const char* stats_key = nullptr) {
+  const Json back = parse_json(doc.dump(2));
+  EXPECT_EQ(back.at("schema").as_int(), obs::kReportSchemaVersion);
+  EXPECT_EQ(back.at("kind").as_string(), kind);
+  const Json& stats = stats_key != nullptr ? back.at("report").at(stats_key)
+                                           : back.at("report");
+  const Json& counters = stats.at("metrics").at("counters");
+  for (const char* name :
+       {metric::kPacketsGenerated, metric::kPacketsDelivered,
+        metric::kBytesDelivered, metric::kChannelFramesTx}) {
+    const Json* v = counters.find(name);
+    EXPECT_NE(v, nullptr) << name;
+    if (v != nullptr) {
+      EXPECT_EQ(v->as_uint(), snap.counter(name)) << name;
+    }
+  }
+  return back;
+}
+
+TEST(ReportJson, PollingReportRoundTrips) {
+  ProtocolConfig cfg;
+  PollingSimulation sim(small_deployment(1, 12), cfg, 20.0);
+  const SimulationReport rep = sim.run(Time::sec(30), Time::sec(10));
+  const Json back =
+      roundtrip_and_check(obs::to_json(rep), "polling", rep.metrics);
+  const Json& r = back.at("report");
+  EXPECT_EQ(r.at("packets_generated").as_uint(), rep.packets_generated);
+  EXPECT_EQ(r.at("delivery_ratio").as_double(), rep.delivery_ratio);
+  EXPECT_EQ(r.at("sectors").as_uint(), rep.sectors);
+  // Latency percentiles come from the registry histogram.
+  EXPECT_GT(rep.latency_p95_s, 0.0);
+  EXPECT_GE(rep.latency_p95_s, rep.latency_p50_s);
+  EXPECT_GE(rep.latency_p99_s, rep.latency_p95_s);
+  EXPECT_EQ(r.at("latency_p95_s").as_double(), rep.latency_p95_s);
+  EXPECT_GT(r.at("queue_depth_p50").as_double(), 0.0);
+  // Run recorder fields are stamped (non-deterministic, so >-checks only).
+  EXPECT_GT(r.at("run").at("events_processed").as_uint(), 0u);
+  EXPECT_GT(r.at("run").at("wall_seconds").as_double(), 0.0);
+  EXPECT_GT(r.at("run").at("events_per_sec").as_double(), 0.0);
+  // Per-node series present for every sensor, both flat and regrouped.
+  const Json& per_node = r.at("metrics").at("per_node");
+  EXPECT_EQ(per_node.at(metric::kNodeEnergyJ).size(), 12u);
+  EXPECT_EQ(per_node.at(metric::kNodeRelayed).size(), 12u);
+  EXPECT_EQ(per_node.at(metric::kNodeAwakeS).size(), 12u);
+  const auto energy = rep.metrics.labeled_gauges(metric::kNodeEnergyJ);
+  for (const auto& [id, value] : energy) {
+    EXPECT_GT(value, 0.0);
+    EXPECT_EQ(per_node.at(metric::kNodeEnergyJ)
+                  .at(std::to_string(id))
+                  .as_double(),
+              value);
+  }
+}
+
+TEST(ReportJson, SmacReportRoundTrips) {
+  SmacConfig cfg;
+  SmacSimulation sim(small_deployment(1), cfg, 15.0);
+  const SmacReport rep = sim.run(Time::sec(20), Time::sec(5));
+  const Json back =
+      roundtrip_and_check(obs::to_json(rep), "smac", rep.metrics);
+  const Json& r = back.at("report");
+  EXPECT_EQ(r.at("control_frames").as_uint(), rep.control_frames);
+  EXPECT_EQ(r.at("packets_dropped").as_uint(), rep.packets_dropped);
+  // Per-node accounting covers the sensors (sink excluded).
+  EXPECT_EQ(rep.metrics.labeled_gauges(metric::kNodeEnergyJ).size(), 10u);
+  EXPECT_EQ(rep.metrics.labeled_counters(metric::kNodeRelayed).size(), 10u);
+  // S-MAC relays via intermediate hops: someone forwarded something.
+  std::uint64_t total_relayed = 0;
+  for (const auto& [id, v] :
+       rep.metrics.labeled_counters(metric::kNodeRelayed))
+    total_relayed += v;
+  EXPECT_GT(total_relayed, 0u);
+}
+
+TEST(ReportJson, MultiClusterReportRoundTrips) {
+  std::vector<ClusterSpec> specs;
+  Rng rng(3);
+  for (int i = 0; i < 2; ++i) {
+    ClusterSpec spec;
+    spec.deployment = deploy_connected_uniform_square(8, 150.0, 60.0, rng);
+    spec.origin = {i * 200.0, 0.0};
+    specs.push_back(std::move(spec));
+  }
+  ProtocolConfig cfg;
+  cfg.seed = 3;
+  MultiClusterSimulation sim(specs, cfg, InterClusterMode::kColored, 30.0);
+  const MultiClusterReport rep = sim.run(Time::sec(25), Time::sec(10));
+  const Json back = roundtrip_and_check(obs::to_json(rep), "multi_cluster",
+                                        rep.totals.metrics, "totals");
+  const Json& r = back.at("report");
+  EXPECT_EQ(r.at("channels_used").as_int(), rep.channels_used);
+  ASSERT_EQ(r.at("clusters").size(), 2u);
+  EXPECT_EQ(r.at("clusters").at(0).at("delivery_ratio").as_double(),
+            rep.delivery_ratio[0]);
+  // Field-wide per-node ids are unique across clusters: 8 + 8 sensors.
+  EXPECT_EQ(rep.totals.metrics.labeled_gauges(metric::kNodeEnergyJ).size(),
+            16u);
+}
+
+// ---------- Deployment + trace serialization ----------
+
+TEST(ReportJson, DeploymentAndTraceSerialize) {
+  const Deployment dep = small_deployment(5);
+  const Json d = obs::to_json(dep);
+  EXPECT_EQ(d.at("num_sensors").as_uint(), dep.num_sensors());
+  EXPECT_EQ(d.at("sensors").size(), dep.num_sensors());
+  EXPECT_EQ(parse_json(d.dump()).at("head").at("x").as_double(),
+            dep.head_pos().x);
+
+  Trace trace;
+  trace.enable(TraceCat::kProtocol);
+  trace.set_max_entries(2);
+  trace.record(Time::ms(1), TraceCat::kProtocol, "one");
+  trace.record(Time::ms(2), TraceCat::kProtocol, "two");
+  trace.record(Time::ms(3), TraceCat::kProtocol, "three");
+  const Json t = parse_json(obs::trace_to_json(trace).dump());
+  EXPECT_EQ(t.at("dropped").as_uint(), 1u);
+  ASSERT_EQ(t.at("entries").size(), 2u);
+  EXPECT_EQ(t.at("entries").at(0).at("text").as_string(), "two");
+  EXPECT_EQ(t.at("entries").at(1).at("cat").as_string(), "protocol");
+}
+
+TEST(ReportJson, JsonlTraceSinkLinesParse) {
+  std::ostringstream log;
+  RuntimeOptions opts;
+  opts.trace_jsonl_stream = &log;
+  SimRuntime rt(1, opts);
+  rt.trace().enable(TraceCat::kProtocol);
+  rt.trace().record(Time::ms(1), TraceCat::kProtocol, "plain");
+  rt.trace().record(Time::ms(2), TraceCat::kProtocol,
+                    "with \"quotes\"\nand newline");
+  std::istringstream in(log.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const Json v = parse_json(line);  // every line is one strict document
+    EXPECT_TRUE(v.at("t_s").is_number());
+    EXPECT_EQ(v.at("cat").as_string(), "protocol");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  // The escaped entry round-trips through the sink's own escaper.
+  std::istringstream in2(log.str());
+  std::getline(in2, line);
+  std::getline(in2, line);
+  EXPECT_EQ(parse_json(line).at("text").as_string(),
+            "with \"quotes\"\nand newline");
+}
+
+// ---------- Bench reports ----------
+
+TEST(BenchJson, TableAndRecorderSerializeAndParseBack) {
+  Table table({"sensors", "rate B/s", "note"});
+  table.add_row({static_cast<long long>(10), 20.5, std::string("ok")});
+  table.add_row({static_cast<long long>(20), 40.25, std::string("sat")});
+  obs::RunRecorder recorder;
+  recorder.add_events(12345);
+
+  const std::string path = "BENCH_test_obs_tmp.json";
+  ASSERT_TRUE(exp::save_bench_json("test_obs_tmp", table, recorder, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const Json v = parse_json(buf.str());
+  std::remove(path.c_str());
+
+  EXPECT_EQ(v.at("schema").as_int(), obs::kReportSchemaVersion);
+  EXPECT_EQ(v.at("bench").as_string(), "test_obs_tmp");
+  EXPECT_EQ(v.at("run").at("events_processed").as_uint(), 12345u);
+  EXPECT_GE(v.at("run").at("wall_seconds").as_double(), 0.0);
+  ASSERT_EQ(v.at("points").size(), 2u);
+  const Json& p0 = v.at("points").at(0);
+  EXPECT_TRUE(p0.at("sensors").is_int());  // cell types survive
+  EXPECT_EQ(p0.at("sensors").as_int(), 10);
+  EXPECT_DOUBLE_EQ(p0.at("rate B/s").as_double(), 20.5);
+  EXPECT_EQ(v.at("points").at(1).at("note").as_string(), "sat");
+}
+
+// ---------- Flight recorder ----------
+
+TEST(FlightRecorder, DumpsTraceTailAndMetricsOnContractFailure) {
+  SimRuntime rt(1);
+  rt.trace().enable(TraceCat::kProtocol);
+  for (int i = 0; i < 10; ++i)
+    rt.trace().record(Time::ms(i), TraceCat::kProtocol,
+                      "entry " + std::to_string(i));
+  rt.metrics().counter("boom.counter").add(3);
+
+  std::ostringstream out;
+  obs::FlightRecorder::Options opts;
+  opts.tail_entries = 3;
+  opts.out = &out;
+  obs::FlightRecorder recorder(rt, opts);
+  EXPECT_FALSE(recorder.dumped());
+
+  // No propagation adopted: this precondition fails and must trigger the
+  // post-mortem before the ContractViolation propagates.
+  EXPECT_THROW(rt.propagation(), ContractViolation);
+  EXPECT_TRUE(recorder.dumped());
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("propagation"), std::string::npos);  // failing expr
+  // Only the newest 3 entries of the ring tail.
+  EXPECT_EQ(dump.find("entry 6"), std::string::npos);
+  EXPECT_NE(dump.find("entry 7"), std::string::npos);
+  EXPECT_NE(dump.find("entry 9"), std::string::npos);
+  EXPECT_NE(dump.find("boom.counter = 3"), std::string::npos);
+
+  // One post-mortem per recorder: a second failure doesn't re-dump.
+  EXPECT_THROW(rt.propagation(), ContractViolation);
+  EXPECT_EQ(dump, out.str());
+}
+
+TEST(FlightRecorder, DisarmsOnDestruction) {
+  SimRuntime rt(1);
+  std::ostringstream out;
+  {
+    obs::FlightRecorder::Options opts;
+    opts.out = &out;
+    obs::FlightRecorder recorder(rt, opts);
+  }
+  EXPECT_THROW(rt.propagation(), ContractViolation);
+  EXPECT_TRUE(out.str().empty());
+}
+
+// ---------- Contract failure hooks ----------
+
+TEST(ContractHooks, RunLifoAndSwallowHookExceptions) {
+  std::vector<int> order;
+  const int t1 = add_contract_failure_hook(
+      [&order](const ContractFailureInfo&) { order.push_back(1); });
+  const int t2 = add_contract_failure_hook(
+      [&order](const ContractFailureInfo& info) {
+        order.push_back(2);
+        EXPECT_STREQ(info.kind, "precondition");
+        EXPECT_NE(info.message.find("boom"), std::string::npos);
+        throw std::runtime_error("hook failure must be swallowed");
+      });
+  EXPECT_THROW(MHP_REQUIRE(false, "boom"), ContractViolation);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // newest first
+  EXPECT_EQ(order[1], 1);
+  remove_contract_failure_hook(t1);
+  remove_contract_failure_hook(t2);
+  order.clear();
+  EXPECT_THROW(MHP_REQUIRE(false, "again"), ContractViolation);
+  EXPECT_TRUE(order.empty());
+}
+
+// ---------- Routing policy: load balance acceptance ----------
+
+TEST(RoutingPolicy, BalancedRoutingLowersWorstRelayLoad) {
+  // Same fixed-seed deployment under both policies; the max-flow plan
+  // (§III-A) must spread relaying so its worst sensor forwards fewer
+  // packets than under hop-count shortest paths.
+  Rng rng(1);
+  const Deployment dep = deploy_connected_uniform_square(24, 200.0, 60.0,
+                                                         rng);
+  auto worst_relayed = [&dep](RoutingPolicy policy) {
+    ProtocolConfig cfg;
+    cfg.routing = policy;
+    PollingSimulation sim(dep, cfg, 40.0);
+    const SimulationReport rep = sim.run(Time::sec(30), Time::sec(10));
+    EXPECT_GT(rep.delivery_ratio, 0.9);
+    std::uint64_t worst = 0;
+    for (const auto& [id, v] :
+         rep.metrics.labeled_counters(metric::kNodeRelayed))
+      worst = std::max(worst, v);
+    return worst;
+  };
+  const std::uint64_t balanced =
+      worst_relayed(RoutingPolicy::kBalancedMaxFlow);
+  const std::uint64_t shortest = worst_relayed(RoutingPolicy::kShortestPath);
+  EXPECT_GT(shortest, 0u);
+  EXPECT_LT(balanced, shortest);
+}
+
+}  // namespace
+}  // namespace mhp

@@ -259,5 +259,99 @@ TEST(Runtime, BoundedTraceOptionLimitsSimulationTrace) {
   EXPECT_GT(sim.trace().dropped(), 0u);
 }
 
+// ---------- Metric reference stability across windows ----------
+
+TEST(Metrics, CachedCounterReferenceSurvivesBeginWindow) {
+  // Agents cache Counter& across the warmup→measurement boundary;
+  // begin_window must zero counters in place, never reallocate them.
+  MetricsRegistry m;
+  Counter& c = m.counter("cached");
+  c.add(7);
+  m.begin_window(Time::sec(10));
+  EXPECT_EQ(c.value(), 0u);  // the cached reference sees the reset
+  c.add(3);
+  EXPECT_EQ(m.counter("cached").value(), 3u);
+  EXPECT_EQ(&m.counter("cached"), &c);  // same object, not a re-insert
+}
+
+TEST(Metrics, GaugeMeanIgnoresHistoryBeforeBeginWindow) {
+  MetricsRegistry m;
+  Gauge& g = m.gauge("g");
+  g.set(Time::sec(0), 100.0);  // warmup value: must not leak into the mean
+  m.begin_window(Time::sec(10));
+  g.set(Time::sec(10), 2.0);
+  g.set(Time::sec(20), 4.0);
+  // 10 s at 2, then 10 s at 4 → 3; the 100.0 before the window is gone.
+  EXPECT_DOUBLE_EQ(g.mean(Time::sec(30)), 3.0);
+  EXPECT_EQ(&m.gauge("g"), &g);
+}
+
+// ---------- Trace ring / sink interplay ----------
+
+TEST(Trace, EvictionDropsOldestAndKeepsOrder) {
+  Trace trace;
+  trace.enable(TraceCat::kProtocol);
+  trace.set_max_entries(3);
+  for (int i = 0; i < 7; ++i)
+    trace.record(Time::ms(i), TraceCat::kProtocol, std::to_string(i));
+  EXPECT_EQ(trace.dropped(), 4u);
+  ASSERT_EQ(trace.entries().size(), 3u);
+  EXPECT_EQ(trace.entries()[0].text, "4");  // oldest survivor first
+  EXPECT_EQ(trace.entries()[1].text, "5");
+  EXPECT_EQ(trace.entries()[2].text, "6");
+}
+
+TEST(Trace, ShrinkingMaxEntriesEvictsAndCountsDropped) {
+  Trace trace;
+  trace.enable(TraceCat::kProtocol);
+  trace.set_max_entries(10);
+  for (int i = 0; i < 10; ++i)
+    trace.record(Time::ms(i), TraceCat::kProtocol, std::to_string(i));
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.set_max_entries(4);  // shrink mid-run evicts the 6 oldest
+  EXPECT_EQ(trace.dropped(), 6u);
+  ASSERT_EQ(trace.entries().size(), 4u);
+  EXPECT_EQ(trace.entries().front().text, "6");
+  EXPECT_EQ(trace.entries().back().text, "9");
+}
+
+TEST(Trace, SinksSeeEntriesTheRingEvicts) {
+  struct CountingSink : TraceSink {
+    std::vector<std::string> seen;
+    void on_entry(const TraceEntry& entry) override {
+      seen.push_back(entry.text);
+    }
+  };
+  Trace trace;
+  trace.enable(TraceCat::kProtocol);
+  trace.set_max_entries(2);
+  CountingSink sink;
+  trace.add_sink(&sink);
+  for (int i = 0; i < 5; ++i)
+    trace.record(Time::ms(i), TraceCat::kProtocol, std::to_string(i));
+  EXPECT_EQ(trace.entries().size(), 2u);
+  ASSERT_EQ(sink.seen.size(), 5u);  // sinks outlive the ring
+  EXPECT_EQ(sink.seen.front(), "0");
+  EXPECT_EQ(sink.seen.back(), "4");
+  trace.remove_sink(&sink);
+  trace.record(Time::ms(9), TraceCat::kProtocol, "after");
+  EXPECT_EQ(sink.seen.size(), 5u);
+}
+
+TEST(Trace, OstreamSinkAndPrintShareOneFormatter) {
+  // Satellite: both renderings go through format_trace_entry, so a
+  // live-streamed log is byte-identical to a post-hoc Trace::print.
+  Trace trace;
+  trace.enable(TraceCat::kProtocol);
+  std::ostringstream streamed;
+  OstreamTraceSink sink(streamed);
+  trace.add_sink(&sink);
+  trace.record(Time::ms(1), TraceCat::kProtocol, "alpha");
+  trace.record(Time::ms(250), TraceCat::kProtocol, "beta");
+  std::ostringstream printed;
+  trace.print(printed);
+  EXPECT_EQ(streamed.str(), printed.str());
+}
+
 }  // namespace
 }  // namespace mhp
