@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
 #include "sim/time.hpp"
@@ -53,6 +54,11 @@ struct SmacConfig {
   std::size_t queue_capacity = 64;
 
   std::uint64_t seed = 1;
+
+  /// Node deaths to inject (sensor ids only; the sink cannot die).  The
+  /// baseline has no replanning head — AODV's route re-discovery is its
+  /// organic recovery — so link-degradation windows are rejected here.
+  FaultPlan faults;
 
   RadioParams radio{};
   EnergyModel energy = EnergyModel::typical_sensor();

@@ -42,7 +42,46 @@ void SmacNode::start_cbr(double rate_bytes_per_s) {
              [this] { generate_packet(); });
 }
 
+void SmacNode::fail() {
+  if (dead_) return;
+  dead_ = true;
+  asleep_ = true;
+  transmitting_ = false;
+  rx_depth_ = 0;
+  contending_ = false;
+  discovering_ = false;
+  cancel_timer();
+  if (discovery_timer_) {
+    sim_.cancel(*discovery_timer_);
+    discovery_timer_.reset();
+  }
+  op_ = Op::kNone;
+  op_peer_.reset();
+  op_data_.reset();
+  op_frame_.reset();
+  tracker_.set_state(sim_.now(), RadioState::kSleep);
+}
+
+void SmacNode::set_battery(double budget_j,
+                           std::function<void()> on_exhausted) {
+  MHP_REQUIRE(budget_j > 0.0, "battery budget must be positive");
+  battery_j_ = budget_j;
+  on_battery_exhausted_ = std::move(on_exhausted);
+}
+
+bool SmacNode::maybe_die() {
+  if (dead_ || battery_j_ <= 0.0) return false;
+  tracker_.settle(sim_.now());
+  const double used =
+      consumed_before_reset_ + tracker_.meter().total_energy_j();
+  if (used < battery_j_) return false;
+  fail();
+  if (on_battery_exhausted_) on_battery_exhausted_();
+  return true;
+}
+
 void SmacNode::generate_packet() {
+  if (dead_) return;  // stops the CBR reschedule chain
   ++generated_;
   BaselineData d;
   d.final_dest = sink_;
@@ -67,8 +106,10 @@ bool SmacNode::in_listen(Time t) const {
 }
 
 void SmacNode::on_frame_boundary() {
+  if (dead_) return;  // stops the duty-cycle reschedule chain
   const Time boundary = sim_.now();
   radio_wake();
+  if (maybe_die()) return;
   // Periodic SYNC maintenance (schedule broadcast) — pure overhead in
   // the steady state, but it contends for the medium like everything
   // else.
@@ -99,7 +140,7 @@ void SmacNode::on_frame_boundary() {
 }
 
 void SmacNode::radio_wake() {
-  if (!asleep_) return;
+  if (dead_ || !asleep_) return;
   asleep_ = false;
   tracker_.set_state(sim_.now(), RadioState::kIdle);
 }
@@ -138,7 +179,8 @@ void SmacNode::arm_timer(Time delay, EventFn fn) {
 }
 
 void SmacNode::try_send() {
-  if (asleep_ || transmitting_ || op_ != Op::kNone || contending_) return;
+  if (dead_ || asleep_ || transmitting_ || op_ != Op::kNone || contending_)
+    return;
   if (ctrl_queue_.empty() && reliable_queue_.empty() && data_queue_.empty())
     return;
   if (!in_listen(sim_.now())) return;
@@ -160,7 +202,7 @@ void SmacNode::try_send() {
 
 void SmacNode::contention_step() {
   timer_.reset();
-  if (asleep_ || transmitting_ || op_ != Op::kNone) {
+  if (dead_ || asleep_ || transmitting_ || op_ != Op::kNone) {
     contending_ = false;
     return;
   }
@@ -184,7 +226,7 @@ void SmacNode::contention_step() {
 void SmacNode::contention_fire() {
   contending_ = false;
   timer_.reset();
-  if (asleep_ || transmitting_ || op_ != Op::kNone) return;
+  if (dead_ || asleep_ || transmitting_ || op_ != Op::kNone) return;
   if (!ctrl_queue_.empty()) {
     Frame f = std::move(ctrl_queue_.front());
     ctrl_queue_.pop_front();
@@ -296,16 +338,18 @@ void SmacNode::send_mac(MacCtrl::Type type, NodeId to, Time nav, Time delay) {
 void SmacNode::transmit(Frame f, Time delay) {
   const auto bytes = f.size_bytes;
   sim_.after(delay, [this, f = std::move(f), bytes]() mutable {
-    if (asleep_) return;
+    if (dead_ || asleep_) return;
     if (transmitting_) return;  // should not happen; drop defensively
     transmitting_ = true;
     tracker_.set_state(sim_.now(), RadioState::kTx);
     channel_.transmit(id_, std::move(f));
     sim_.after(channel_.airtime(bytes), [this] {
+      if (dead_) return;
       transmitting_ = false;
       if (!asleep_)
         tracker_.set_state(sim_.now(), rx_depth_ > 0 ? RadioState::kRx
                                                      : RadioState::kIdle);
+      if (maybe_die()) return;
       if (op_ == Op::kNone) try_send();
     });
   });
@@ -408,6 +452,7 @@ void SmacNode::handle_rreq(const RreqMsg& rreq, NodeId from) {
     const Time jitter = Time::ns(static_cast<std::int64_t>(
         rng_.uniform(0.0, static_cast<double>(cfg_.rreq_jitter.nanos()))));
     sim_.after(jitter, [this, fwd = action.fwd] {
+      if (dead_) return;
       Frame f;
       f.uid = uids_.next();
       f.kind = FrameKind::kRouting;
@@ -446,14 +491,16 @@ void SmacNode::handle_rrep(const RrepMsg& rrep, NodeId from) {
 }
 
 void SmacNode::on_frame_begin(const Frame&, NodeId, double, Time) {
-  if (asleep_ || transmitting_) return;
+  if (dead_ || asleep_ || transmitting_) return;
   if (rx_depth_++ == 0) tracker_.set_state(sim_.now(), RadioState::kRx);
 }
 
 void SmacNode::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
+  if (dead_) return;
   if (!asleep_ && !transmitting_ && rx_depth_ > 0) {
     if (--rx_depth_ == 0) tracker_.set_state(sim_.now(), RadioState::kIdle);
   }
+  if (maybe_die()) return;
   if (asleep_ || transmitting_) return;
   if (!phy_ok) return;
 
@@ -556,6 +603,9 @@ void SmacNode::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
 }
 
 void SmacNode::reset_stats(Time now) {
+  // Rebase the meter but keep the battery's view of lifetime consumption.
+  tracker_.settle(now);
+  consumed_before_reset_ += tracker_.meter().total_energy_j();
   tracker_.reset(now);
   generated_ = 0;
   delivered_ = 0;

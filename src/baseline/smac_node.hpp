@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <set>
 
@@ -62,6 +63,16 @@ class SmacNode : public ChannelListener {
 
   /// Generate CBR data for the sink at `rate_bytes_per_s`.
   void start_cbr(double rate_bytes_per_s);
+
+  // --- fault injection ---
+  /// Kill the node: radio off for good, timers cancelled, every pending
+  /// callback becomes a no-op.  Idempotent.  Neighbors recover through
+  /// AODV's normal link-failure re-discovery — no extra signalling.
+  void fail();
+  bool dead() const { return dead_; }
+  /// Finite battery (joules across reset_stats() rebasing); exhaustion
+  /// fail()s the node and fires `on_exhausted` once.  0 = unlimited.
+  void set_battery(double budget_j, std::function<void()> on_exhausted);
 
   // --- ChannelListener ---
   void on_frame_begin(const Frame& frame, NodeId from, double rx_power_w,
@@ -125,6 +136,7 @@ class SmacNode : public ChannelListener {
   void handle_rreq(const RreqMsg& rreq, NodeId from);
   void handle_rrep(const RrepMsg& rrep, NodeId from);
   void generate_packet();
+  bool maybe_die();
 
   NodeId id_;
   NodeId sink_;
@@ -139,8 +151,12 @@ class SmacNode : public ChannelListener {
 
   bool asleep_ = false;
   bool transmitting_ = false;
+  bool dead_ = false;
   int rx_depth_ = 0;
   Time nav_until_;
+  double battery_j_ = 0.0;  // 0 = unlimited
+  std::function<void()> on_battery_exhausted_;
+  double consumed_before_reset_ = 0.0;
 
   // Outgoing queues: broadcasts (RREQ) first, then reliable routing
   // unicasts (RREP), then data.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -52,8 +53,41 @@ SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
     node->set_queue_histogram(&queue_hist);
   }
 
+  if (!cfg_.faults.empty()) {
+    MHP_REQUIRE(cfg_.faults.degradations().empty(),
+                "link-degradation windows are not modelled in the S-MAC "
+                "baseline; schedule node deaths only");
+    FaultInjector& inj = rt_.install_faults(cfg_.faults);
+    inj.set_death_handler(
+        [this](const NodeDeath& death) { on_node_death(death); });
+    for (const NodeDeath& d : cfg_.faults.deaths()) {
+      MHP_REQUIRE(d.node < n, "fault plan kills an unknown sensor");
+      if (d.cause == NodeDeath::Cause::kBattery)
+        nodes_[d.node]->set_battery(d.battery_j, [this, node = d.node] {
+          rt_.faults()->battery_exhausted(node);
+        });
+    }
+    inj.arm();
+  }
+
   for (auto& node : nodes_) node->start();
   for (NodeId i = 0; i < n; ++i) nodes_[i]->start_cbr(rates_[i]);
+}
+
+void SmacSimulation::on_node_death(const NodeDeath& death) {
+  nodes_.at(death.node)->fail();
+  if (!have_first_death_) {
+    have_first_death_ = true;
+    death_gen_ = sum_generated();
+    death_del_ = nodes_.back()->packets_delivered();
+  }
+}
+
+std::uint64_t SmacSimulation::sum_generated() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < nodes_.size(); ++i)
+    total += nodes_[i]->packets_generated();
+  return total;
 }
 
 SmacSimulation::SmacSimulation(const Deployment& deployment, SmacConfig cfg,
@@ -113,6 +147,37 @@ SmacReport SmacSimulation::run(Time duration, Time warmup) {
   m.gauge(metric::kMeanLatencyS)
       .set(sim.now(),
            sink.latency_s().empty() ? 0.0 : sink.latency_s().mean());
+
+  if (!cfg_.faults.empty()) {
+    const FaultInjector& inj = *rt_.faults();
+    DegradationReport deg;
+    deg.dead_nodes = inj.dead_nodes();
+    deg.deaths = deg.dead_nodes.size();
+    // No head-driven detection or replanning here: those counters stay
+    // zero and AODV re-discovery is the only recovery.
+    const std::uint64_t gen_end = generated;
+    const std::uint64_t del_end = sink.packets_delivered();
+    const auto sat = [](std::uint64_t a, std::uint64_t b) {
+      return a > b ? a - b : std::uint64_t{0};
+    };
+    const auto ratio = [](std::uint64_t del, std::uint64_t gen) {
+      return gen == 0 ? 1.0
+                      : static_cast<double>(del) / static_cast<double>(gen);
+    };
+    if (have_first_death_) {
+      deg.delivery_before = ratio(death_del_, death_gen_);
+      deg.delivery_after =
+          ratio(sat(del_end, death_del_), sat(gen_end, death_gen_));
+    } else {
+      deg.delivery_before = ratio(del_end, gen_end);
+      deg.delivery_after = deg.delivery_before;
+    }
+    rep.degradation = deg;
+    m.counter("fault.deaths").add(deg.deaths);
+    m.counter("fault.deaths_detected").add(deg.deaths_detected);
+    m.counter("fault.replans").add(deg.replans);
+    m.counter("fault.orphaned_sensors").add(deg.orphaned_sensors);
+  }
 
   static_cast<RunStats&>(rep) =
       rt_.collect_run_stats(duration - warmup, cfg_.data_bytes);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "baseline/smac_config.hpp"
@@ -23,6 +24,11 @@ struct SmacReport : RunStats {
   std::uint64_t control_frames = 0;   // RTS/CTS/ACK + routing
   std::uint64_t rreq_floods = 0;
   std::uint64_t mac_failures = 0;
+  /// Present iff cfg.faults is non-empty.  The baseline performs no
+  /// explicit detection or replanning (deaths_detected/replans/
+  /// orphaned_sensors stay 0); delivery before/after brackets the first
+  /// injected death, with AODV re-discovery as the only recovery.
+  std::optional<DegradationReport> degradation;
 };
 
 class SmacSimulation {
@@ -48,10 +54,17 @@ class SmacSimulation {
   std::size_t num_sensors() const { return nodes_.size() - 1; }
 
  private:
+  void on_node_death(const NodeDeath& death);
+  std::uint64_t sum_generated() const;
+
   SmacConfig cfg_;
   std::vector<double> rates_;
   SimRuntime rt_;
   std::vector<std::unique_ptr<SmacNode>> nodes_;  // sensors then sink
+
+  // Degradation snapshots (untouched when faults are off).
+  bool have_first_death_ = false;
+  std::uint64_t death_gen_ = 0, death_del_ = 0;  // at first death
 };
 
 }  // namespace mhp

@@ -30,8 +30,16 @@ bool GreedyPollingScheduler::admissible(const PollingRequest& r) const {
   for (std::size_t j = 0; j < r.hop_count(); ++j) {
     const std::size_t k = j;  // hop j runs in slot slot_ + j
     std::vector<Tx> group;
-    if (k < future_.size())
-      for (const auto& s : future_[k]) group.push_back(s.tx);
+    if (k < future_.size()) {
+      for (const auto& s : future_[k]) {
+        // The oracle answers for *sets* of transmissions, so a hop that
+        // is already committed to this slot would vanish under its
+        // dedup — but one radio sends one frame per slot, so two
+        // requests can never share a hop in the same slot.
+        if (s.tx == r.hop(j)) return false;
+        group.push_back(s.tx);
+      }
+    }
     if (group.size() + 1 > order) return false;
     group.push_back(r.hop(j));
     if (!oracle_.compatible(group)) return false;
@@ -45,6 +53,7 @@ std::vector<ScheduledTx> GreedyPollingScheduler::plan_slot() {
   const auto order = static_cast<std::size_t>(oracle_.order());
   for (auto& r : requests_) {
     if (!r.active) continue;
+    if (slot_ < r.eligible_slot) continue;  // deferred by backoff
     if (!future_.empty() && future_[0].size() >= order) break;
     if (!admissible(r.req)) continue;
     r.active = false;
@@ -106,6 +115,25 @@ void GreedyPollingScheduler::abandon(RequestId id) {
   --pending_active_;
 }
 
+void GreedyPollingScheduler::defer(RequestId id, std::size_t slots) {
+  MHP_REQUIRE(id < requests_.size(), "unknown request");
+  Request& r = requests_[id];
+  if (!r.active || r.in_flight) return;
+  r.eligible_slot = slot_ + slots;
+}
+
+bool GreedyPollingScheduler::has_deferred() const {
+  for (const auto& r : requests_)
+    if (r.active && slot_ < r.eligible_slot) return true;
+  return false;
+}
+
+const std::vector<NodeId>& GreedyPollingScheduler::request_path(
+    RequestId id) const {
+  MHP_REQUIRE(id < requests_.size(), "unknown request");
+  return requests_[id].req.path;
+}
+
 OfflineRunResult run_offline(const CompatibilityOracle& oracle,
                              std::span<const std::vector<NodeId>> paths,
                              const HopLossModel& loss,
@@ -120,6 +148,8 @@ OfflineRunResult run_offline(const CompatibilityOracle& oracle,
     if (sched.current_slot() >= max_slots) {
       result.slots = sched.current_slot();
       result.schedule = sched.history();
+      result.transmissions = sched.total_attempted_transmissions();
+      result.reactivations = sched.reactivations();
       return result;  // all_delivered stays false
     }
     const auto txs = sched.plan_slot();

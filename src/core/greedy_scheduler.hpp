@@ -48,6 +48,18 @@ class GreedyPollingScheduler {
   /// re-polls.  No-op if it already completed.
   void abandon(RequestId id);
 
+  /// Hold an *active* request out of planning for the next `slots` slots
+  /// (fault-recovery backoff after an unanswered poll).  No-op on
+  /// in-flight or completed requests.
+  void defer(RequestId id, std::size_t slots);
+
+  /// Any active request currently held back by defer()?  When true,
+  /// plan_slot() may legitimately return an empty slot while !finished().
+  bool has_deferred() const;
+
+  /// Path of a request (for the head's per-node failure accounting).
+  const std::vector<NodeId>& request_path(RequestId id) const;
+
   /// Slots holding at least one transmission so far (committed history).
   const Schedule& history() const { return history_; }
 
@@ -62,6 +74,7 @@ class GreedyPollingScheduler {
     bool active = true;      // waiting to be admitted
     bool in_flight = false;  // admitted, not yet resolved
     std::size_t start_slot = 0;
+    std::size_t eligible_slot = 0;  // earliest slot defer() allows
   };
 
   /// Transmissions already committed to `slot` (relays of in-flight

@@ -17,7 +17,7 @@ HeadAgent::HeadAgent(NodeId id, Simulator& sim, Channel& channel,
       channel_(channel),
       uids_(uids),
       cfg_(cfg),
-      oracle_(oracle),
+      oracle_(&oracle),
       sectors_(std::move(sectors)),
       rng_(rng),
       trace_(trace),
@@ -36,7 +36,7 @@ HeadAgent::HeadAgent(NodeId id, Simulator& sim, Channel& channel,
       channel_(channel),
       uids_(uids),
       cfg_(cfg),
-      oracle_(oracle),
+      oracle_(&oracle),
       provider_(&provider),
       rng_(rng),
       trace_(trace),
@@ -49,6 +49,13 @@ HeadAgent::HeadAgent(NodeId id, Simulator& sim, Channel& channel,
 
 const std::vector<SectorPlan>& HeadAgent::current_plans() const {
   return provider_ != nullptr ? provider_->plans(cycle_) : sectors_;
+}
+
+void HeadAgent::replace_plans(std::vector<SectorPlan> sectors) {
+  MHP_REQUIRE(!sectors.empty(), "head needs at least one sector plan");
+  sectors_ = std::move(sectors);
+  provider_ = nullptr;
+  init_windows();
 }
 
 void HeadAgent::init_windows() {
@@ -118,7 +125,7 @@ void HeadAgent::reset_phase(bool is_ack) {
   // PhaseState is not assignable (the scheduler holds an oracle
   // reference); reset fields in place.
   phase_.is_ack = is_ack;
-  phase_.sched.emplace(oracle_);
+  phase_.sched.emplace(*oracle_);
   phase_.wire_base = next_wire_;
   phase_.attempts.clear();
   phase_.total = 0;
@@ -184,7 +191,17 @@ void HeadAgent::run_slot() {
   }
 
   const auto txs = phase_.sched->plan_slot();
-  MHP_ENSURE(!txs.empty(), "scheduler planned an empty slot while busy");
+  if (txs.empty()) {
+    // Every active request is held back by retry backoff: let the slot
+    // pass idle and try again.  Only possible under fault recovery.
+    MHP_ENSURE(phase_.sched->has_deferred(),
+               "scheduler planned an empty slot while busy");
+    ++slot_in_sector_;
+    arrived_wire_.clear();
+    arrived_acks_.clear();
+    sim_.after(cfg_.slot_duration(), [this] { finish_slot(); });
+    return;
+  }
   PollMsg poll;
   poll.cycle = cycle_;
   poll.slot = slot_in_sector_++;
@@ -219,6 +236,12 @@ void HeadAgent::finish_slot() {
   phase_.delivered += static_cast<std::uint32_t>(delivered.size());
 
   const auto due = phase_.sched->due_now();
+
+  // A delivery vouches for every node on its path.
+  if (cfg_.recovery.enabled && !suspicion_.empty())
+    for (RequestId id : delivered)
+      for (NodeId n : phase_.sched->request_path(id)) suspicion_.erase(n);
+
   phase_.sched->complete_slot(delivered);
 
   // Retry budget: abandon requests that keep failing (e.g. a reported
@@ -231,6 +254,20 @@ void HeadAgent::finish_slot() {
       phase_.sched->abandon(id);
       ++phase_.abandoned;
       if (!phase_.is_ack) ++lost_retry_;
+      // A retry-exhausted request is evidence against its whole path
+      // (minus the head); the dead node accumulates across paths while
+      // innocents get cleared by their own deliveries.
+      if (cfg_.recovery.enabled && cycle_ >= suspicion_resume_cycle_)
+        for (NodeId n : phase_.sched->request_path(id))
+          if (n != id_) ++suspicion_[n];
+    } else if (cfg_.recovery.enabled && cfg_.recovery.backoff_slots > 0) {
+      // Exponential backoff before the re-poll: a dead relay must not
+      // monopolise the drain window.
+      const std::uint32_t shift = std::min(phase_.attempts[id] - 1, 16u);
+      const auto delay = std::min<std::size_t>(
+          static_cast<std::size_t>(cfg_.recovery.backoff_slots) << shift,
+          cfg_.recovery.max_backoff_slots);
+      phase_.sched->defer(id, delay);
     }
   }
   run_slot();
@@ -258,6 +295,7 @@ void HeadAgent::end_sector() {
     const std::size_t k = sector_ + 1;
     sim_.at(next, [this, k] { begin_sector(k); });
   } else {
+    evaluate_suspects();
     ++cycles_done_;
     ++cycle_;
     slot_in_sector_ = 0;
@@ -265,6 +303,33 @@ void HeadAgent::end_sector() {
         std::max(window_start(cycle_, 0), sim_.now() + after_tx);
     sim_.at(next, [this] { begin_cycle(); });
   }
+}
+
+void HeadAgent::evaluate_suspects() {
+  if (!cfg_.recovery.enabled) return;
+  if (replans_ >= cfg_.recovery.max_replans) return;
+  // One declaration per cycle: the strongest suspect (ties go to the
+  // lowest id — a wrong pick re-accumulates and is corrected next time).
+  NodeId worst = kNoNode;
+  std::uint32_t votes = 0;
+  for (const auto& [node, count] : suspicion_)
+    if (count > votes) {
+      worst = node;
+      votes = count;
+    }
+  if (worst == kNoNode || votes < cfg_.recovery.suspect_polls) return;
+  ++deaths_detected_;
+  ++replans_;
+  suspicion_.clear();
+  // Sensors already asleep keep their pre-repair wake times for one
+  // cycle; do not read their silence as death.
+  suspicion_resume_cycle_ = cycle_ + 2;
+  if (trace_ != nullptr)
+    trace_->record(sim_.now(), TraceCat::kProtocol,
+                   "head declares node " + std::to_string(worst) +
+                       " dead (" + std::to_string(votes) +
+                       " failed polls), replanning routes");
+  if (replan_handler_) replan_handler_(worst);
 }
 
 void HeadAgent::broadcast(ControlPayload msg) {
@@ -294,6 +359,13 @@ void HeadAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
     if (--rx_depth_ == 0) tracker_.set_state(sim_.now(), RadioState::kIdle);
   }
   if (!phy_ok) return;
+  // Any frame decoded at the head vouches for its sender — including
+  // overheard relay traffic addressed elsewhere.
+  if (cfg_.recovery.enabled && !suspicion_.empty()) suspicion_.erase(from);
+  if (faults_ != nullptr) {
+    const double loss = faults_->link_loss(from, id_, sim_.now());
+    if (loss > 0.0 && rng_.bernoulli(loss)) return;  // degraded link
+  }
   if (frame.dst != id_ && frame.dst != kBroadcast) return;
   if (cfg_.random_loss > 0.0 &&
       (frame.kind == FrameKind::kData || frame.kind == FrameKind::kAck) &&

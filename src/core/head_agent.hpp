@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "core/greedy_scheduler.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/interference.hpp"
 #include "core/protocol_config.hpp"
 #include "core/protocol_messages.hpp"
@@ -66,6 +68,28 @@ class HeadAgent : public ChannelListener {
   /// Kick off the first duty cycle at `first_cycle_start`.
   void start(Time first_cycle_start);
 
+  // --- fault recovery (cfg.recovery.enabled) ---
+  /// Called when the head declares `dead` unresponsive (suspicion from
+  /// unanswered polls crossed cfg.recovery.suspect_polls).  The handler
+  /// re-routes the surviving topology and hands the result back via
+  /// replace_plans() / set_oracle(); it runs at a cycle boundary, so no
+  /// phase is in flight.
+  using ReplanHandler = std::function<void(NodeId dead)>;
+  void set_replan_handler(ReplanHandler h) { replan_handler_ = std::move(h); }
+  /// Swap in repaired sector plans (drops any rotating provider — path
+  /// rotation is suspended after a repair).  Call only from a
+  /// ReplanHandler or before start().
+  void replace_plans(std::vector<SectorPlan> sectors);
+  /// Swap the compatibility oracle (the old one must stay alive until
+  /// the current phase ends; takes effect from the next phase).
+  void set_oracle(const CompatibilityOracle& oracle) { oracle_ = &oracle; }
+  /// Consult `f`'s link-degradation windows on frame reception
+  /// (nullptr = off).
+  void set_fault_injector(const FaultInjector* f) { faults_ = f; }
+
+  std::uint64_t deaths_detected() const { return deaths_detected_; }
+  std::uint64_t replans() const { return replans_; }
+
   // --- ChannelListener ---
   void on_frame_begin(const Frame& frame, NodeId from, double rx_power_w,
                       Time end) override;
@@ -114,6 +138,9 @@ class HeadAgent : public ChannelListener {
   void run_slot();
   void finish_slot();
   void end_sector();
+  /// Cycle-boundary check of the suspicion table: declare at most one
+  /// node dead and fire the replan handler.
+  void evaluate_suspects();
   void broadcast(ControlPayload msg);
   Time window_start(std::uint64_t cycle, std::size_t sector) const;
   Time window_end() const;
@@ -123,7 +150,7 @@ class HeadAgent : public ChannelListener {
   Channel& channel_;
   FrameUidSource& uids_;
   const ProtocolConfig& cfg_;
-  const CompatibilityOracle& oracle_;
+  const CompatibilityOracle* oracle_;      // swappable after a repair
   std::vector<SectorPlan> sectors_;        // static plans (unused when
   CyclePlanProvider* provider_ = nullptr;  // a provider is set)
   Rng rng_;
@@ -145,6 +172,18 @@ class HeadAgent : public ChannelListener {
   std::set<std::uint32_t> arrived_wire_;
   std::vector<AckPayload> arrived_acks_;
   std::map<NodeId, std::uint32_t> backlog_;
+
+  // Fault-recovery state.  A retry-exhausted request raises suspicion on
+  // every non-head node of its path; hearing a node (any frame decoded
+  // at the head) or a delivery over its path clears it.
+  ReplanHandler replan_handler_;
+  const FaultInjector* faults_ = nullptr;
+  std::map<NodeId, std::uint32_t> suspicion_;
+  /// Suspicion accounting is paused until this cycle after a repair
+  /// (sensors that slept through the switch must not look dead).
+  std::uint64_t suspicion_resume_cycle_ = 0;
+  std::uint64_t deaths_detected_ = 0;
+  std::uint64_t replans_ = 0;
 
   std::uint64_t packets_received_ = 0;
   std::uint64_t bytes_received_ = 0;

@@ -27,10 +27,16 @@ bool structurally_valid(std::span<const Tx> txs) {
 }
 
 bool CompatibilityOracle::compatible(std::span<const Tx> txs) const {
-  if (txs.size() <= 1) return txs.empty() || txs[0].from != txs[0].to;
-  if (static_cast<int>(txs.size()) > order()) return false;
-  if (!structurally_valid(txs)) return false;
-  return compatible_impl(normalize(txs));
+  // Normalize first: a group listing the same transmission twice is the
+  // same *set* of transmissions, not a duplicate-sender violation — the
+  // structural screen runs on the deduped group.  (Callers that must
+  // forbid double-booking a sender in one slot, like the greedy
+  // scheduler, enforce that themselves.)
+  const TxGroup g = normalize(txs);
+  if (g.size() <= 1) return g.empty() || g[0].from != g[0].to;
+  if (static_cast<int>(g.size()) > order()) return false;
+  if (!structurally_valid(g)) return false;
+  return compatible_impl(g);
 }
 
 void ExplicitOracle::allow_pair(Tx a, Tx b) {

@@ -5,6 +5,7 @@
 
 #include "core/ack_collection.hpp"
 #include "core/coloring.hpp"
+#include "core/route_repair.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -106,6 +107,7 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
     const std::size_t n = specs[c].deployment.num_sensors();
     const NodeId base = placement[c].base;
     rt.num_sensors = n;
+    rt.base = base;
     rt.head = base + static_cast<NodeId>(n);
 
     // Local topology over this cluster's own nodes.
@@ -124,6 +126,7 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                  static_cast<double>(cfg_.data_bytes)))));
     rt.plan = std::make_unique<RelayPlan>(RelayPlan::balanced(*rt.topo,
                                                               demand));
+    rt.demand = demand;
 
     // Global (channel-id) paths: the local head is id n, so adding the
     // base translates sensors and head alike.
@@ -173,6 +176,98 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                         head_cfg_.max_drain_window.nanos());
     rt.head_agent->start(start);
   }
+
+  // Fault injection: deaths keyed by field-wide sensor id.  Repair is
+  // per cluster — each head detects and re-routes only its own members.
+  if (!cfg_.faults.empty()) {
+    MHP_REQUIRE(cfg_.faults.degradations().empty(),
+                "link-degradation windows are single-cluster only");
+    FaultInjector& inj = rt_.install_faults(cfg_.faults);
+    inj.set_death_handler(
+        [this](const NodeDeath& d) { on_node_death(d); });
+    for (const auto& d : cfg_.faults.deaths())
+      if (d.cause == NodeDeath::Cause::kBattery)
+        sensor_by_field_id(d.node).set_battery(
+            d.battery_j,
+            [this, node = d.node] { rt_.faults()->battery_exhausted(node); });
+    inj.arm();
+  }
+  if (cfg_.recovery.enabled)
+    for (std::size_t c = 0; c < clusters_.size(); ++c)
+      clusters_[c].head_agent->set_replan_handler(
+          [this, c](NodeId declared) { replan_cluster(c, declared); });
+}
+
+SensorAgent& MultiClusterSimulation::sensor_by_field_id(NodeId field_id) {
+  std::uint64_t base = 0;
+  for (auto& rt : clusters_) {
+    if (field_id < base + rt.num_sensors)
+      return *rt.sensors[field_id - base];
+    base += rt.num_sensors;
+  }
+  MHP_REQUIRE(false, "fault plan kills a node outside the field");
+  return *clusters_.front().sensors.front();  // unreachable
+}
+
+std::uint64_t MultiClusterSimulation::sum_generated() const {
+  std::uint64_t total = 0;
+  for (const auto& rt : clusters_)
+    for (const auto& s : rt.sensors) total += s->packets_generated();
+  return total;
+}
+
+std::uint64_t MultiClusterSimulation::sum_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& rt : clusters_)
+    total += rt.head_agent->packets_received();
+  return total;
+}
+
+void MultiClusterSimulation::on_node_death(const NodeDeath& death) {
+  sensor_by_field_id(death.node).fail();
+  if (!have_first_death_) {
+    have_first_death_ = true;
+    death_gen_ = sum_generated();
+    death_del_ = sum_delivered();
+    repair_gen_ = death_gen_;
+    repair_del_ = death_del_;
+  }
+}
+
+void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
+  ClusterRt& rt = clusters_[c];
+  MHP_REQUIRE(declared >= rt.base && declared < rt.base + rt.num_sensors,
+              "head declared a node outside its cluster");
+  rt.declared_dead.push_back(declared - rt.base);
+  RouteRepair repair =
+      repair_routes(*rt.topo, rt.declared_dead, rt.demand, cfg_.routing);
+
+  const NodeId base = rt.base;
+  auto globalize = [base](std::vector<NodeId> path) {
+    for (NodeId& v : path) v = base + v;
+    return path;
+  };
+  SectorPlan sp;
+  std::vector<std::vector<NodeId>> probe_paths;
+  for (NodeId s : repair.sectors.front().members) {
+    sp.members.push_back(base + s);
+    auto path = globalize(repair.sectors.front().data_path.at(s));
+    sp.data_path[base + s] = path;
+    probe_paths.push_back(std::move(path));
+  }
+  for (const auto& p : repair.sectors.front().ack_paths) {
+    sp.ack_paths.push_back(globalize(p));
+    probe_paths.push_back(sp.ack_paths.back());
+  }
+
+  rt.retired_oracles.push_back(std::move(rt.oracle));
+  rt.oracle = std::make_unique<MeasuredOracle>(
+      *rt.truth, transmissions_of_paths(probe_paths), cfg_.oracle_order);
+  rt.head_agent->set_oracle(*rt.oracle);
+  rt.head_agent->replace_plans({std::move(sp)});
+  rt.last_orphaned = repair.orphaned.size();
+  repair_gen_ = sum_generated();
+  repair_del_ = sum_delivered();
 }
 
 MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
@@ -243,6 +338,42 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
   m.counter("clusters").add(clusters_.size());
   m.gauge(metric::kMeanActiveFraction)
       .set(sim.now(), total_active / static_cast<double>(total_sensors));
+
+  // Degradation accounting — only when faults could occur, so fault-free
+  // reports stay byte-identical to pre-fault builds.
+  if (!cfg_.faults.empty() || cfg_.recovery.enabled) {
+    const auto sat = [](std::uint64_t a, std::uint64_t b) {
+      return a > b ? a - b : std::uint64_t{0};
+    };
+    const auto ratio = [](std::uint64_t del, std::uint64_t gen) {
+      return gen == 0 ? 1.0
+                      : static_cast<double>(del) / static_cast<double>(gen);
+    };
+    DegradationReport deg;
+    if (const FaultInjector* inj = rt_.faults(); inj != nullptr) {
+      deg.dead_nodes = inj->dead_nodes();
+      deg.deaths = deg.dead_nodes.size();
+    }
+    for (const auto& rt : clusters_) {
+      deg.deaths_detected += rt.head_agent->deaths_detected();
+      deg.replans += rt.head_agent->replans();
+      deg.orphaned_sensors += rt.last_orphaned;
+    }
+    if (have_first_death_) {
+      deg.delivery_before = ratio(death_del_, death_gen_);
+      deg.delivery_after = ratio(sat(sum_delivered(), repair_del_),
+                                 sat(sum_generated(), repair_gen_));
+    } else {
+      deg.delivery_before = ratio(total_delivered, total_generated);
+      deg.delivery_after = deg.delivery_before;
+    }
+    rep.degradation = deg;
+    m.counter("fault.deaths").add(deg.deaths);
+    m.counter("fault.deaths_detected").add(deg.deaths_detected);
+    m.counter("fault.replans").add(deg.replans);
+    m.counter("fault.orphaned_sensors").add(deg.orphaned_sensors);
+  }
+
   rep.totals = rt_.collect_run_stats(duration - warmup, cfg_.data_bytes);
   return rep;
 }

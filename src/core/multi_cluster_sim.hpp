@@ -43,6 +43,11 @@ struct MultiClusterReport {
   int channels_used = 1;
   /// Field-wide totals populated from the runtime's MetricsRegistry.
   RunStats totals;
+  /// Present iff the run had fault injection or recovery enabled.
+  /// Fault-plan node ids (and dead_nodes here) are *field-wide* sensor
+  /// ids: sensors numbered consecutively cluster by cluster, heads
+  /// excluded.  Repairs happen per cluster at the owning head.
+  std::optional<DegradationReport> degradation;
 };
 
 class MultiClusterSimulation {
@@ -65,6 +70,7 @@ class MultiClusterSimulation {
  private:
   struct ClusterRt {
     std::size_t num_sensors = 0;
+    NodeId base = 0;                     // first global id on its channel
     NodeId head = kNoNode;               // global id on its channel
     std::unique_ptr<ClusterTopology> topo;
     std::unique_ptr<RelayPlan> plan;
@@ -72,10 +78,20 @@ class MultiClusterSimulation {
     std::unique_ptr<MeasuredOracle> oracle;
     std::unique_ptr<HeadAgent> head_agent;
     std::vector<std::unique_ptr<SensorAgent>> sensors;
+    // Fault-recovery state (local sensor ids).
+    std::vector<std::int64_t> demand;
+    std::vector<NodeId> declared_dead;
+    std::vector<std::unique_ptr<MeasuredOracle>> retired_oracles;
+    std::uint64_t last_orphaned = 0;
   };
 
   void build(std::vector<ClusterSpec> clusters, double rate_bps,
              double interference_range);
+  SensorAgent& sensor_by_field_id(NodeId field_id);
+  void on_node_death(const NodeDeath& death);
+  void replan_cluster(std::size_t c, NodeId declared);
+  std::uint64_t sum_generated() const;
+  std::uint64_t sum_delivered() const;
 
   ProtocolConfig cfg_;
   ProtocolConfig head_cfg_;  // cfg_ plus the token drain window; the
@@ -85,6 +101,11 @@ class MultiClusterSimulation {
   std::vector<ClusterRt> clusters_;
   int channels_used_ = 1;
   double rate_bps_ = 0.0;
+
+  // Field-wide degradation snapshots (untouched when faults are off).
+  bool have_first_death_ = false;
+  std::uint64_t death_gen_ = 0, death_del_ = 0;    // at first death
+  std::uint64_t repair_gen_ = 0, repair_del_ = 0;  // at last repair
 };
 
 }  // namespace mhp

@@ -102,6 +102,16 @@ void OptimalScheduler::dfs(std::uint32_t pending,
     std::vector<Tx> txs;
     txs.reserve(group.size());
     for (const auto& g : group) txs.push_back(g.tx);
+    // Distinct packets never share a transmission: the oracle judges the
+    // *set* of concurrent transmissions, so duplicate Tx entries (one
+    // radio, two frames, one slot) must be rejected here.
+    for (std::size_t i = 0; i < txs.size() && ok; ++i)
+      for (std::size_t j = i + 1; j < txs.size(); ++j)
+        if (txs[i] == txs[j]) {
+          ok = false;
+          break;
+        }
+    if (!ok) continue;
     if (!group.empty() && !oracle_.compatible(txs)) continue;
 
     // Look ahead: started requests' *future* hops must also be compatible

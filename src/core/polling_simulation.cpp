@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/ack_collection.hpp"
+#include "core/route_repair.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -85,7 +86,8 @@ void PollingSimulation::setup(const Deployment& deployment) {
   // Routing demand: expected packets per duty cycle (at least 1 so every
   // sensor owns a relaying path).
   const double cycle_s = cfg_.cycle_period.to_seconds();
-  std::vector<std::int64_t> demand(n, 0);
+  std::vector<std::int64_t>& demand = demand_;
+  demand.assign(n, 0);
   for (NodeId s = 0; s < n; ++s) {
     const double per_cycle =
         rates_[s] * cycle_s / static_cast<double>(cfg_.data_bytes);
@@ -186,7 +188,74 @@ void PollingSimulation::setup(const Deployment& deployment) {
     agent->start_sampling(rates_[s]);
     sensors_.push_back(std::move(agent));
   }
+
+  // Fault injection and head-driven recovery.  With an empty plan and
+  // recovery off this installs nothing: no injector, no handlers, no
+  // extra rng draws — fault-free runs stay byte-identical.
+  if (!cfg_.faults.empty()) {
+    FaultInjector& inj = rt_.install_faults(cfg_.faults);
+    inj.set_death_handler(
+        [this](const NodeDeath& d) { on_node_death(d); });
+    for (const auto& d : cfg_.faults.deaths()) {
+      MHP_REQUIRE(d.node < n, "fault plan kills a node outside the cluster");
+      if (d.cause == NodeDeath::Cause::kBattery)
+        sensors_[d.node]->set_battery(
+            d.battery_j,
+            [this, node = d.node] { rt_.faults()->battery_exhausted(node); });
+    }
+    if (!cfg_.faults.degradations().empty()) {
+      head_->set_fault_injector(rt_.faults());
+      for (auto& s : sensors_) s->set_fault_injector(rt_.faults());
+    }
+    inj.arm();
+  }
+  if (cfg_.recovery.enabled)
+    head_->set_replan_handler(
+        [this](NodeId declared) { replan_after_death(declared); });
+
   head_->start(Time::ms(10));
+}
+
+std::uint64_t PollingSimulation::sum_generated() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sensors_) total += s->packets_generated();
+  return total;
+}
+
+void PollingSimulation::on_node_death(const NodeDeath& death) {
+  sensors_.at(death.node)->fail();
+  if (!have_first_death_) {
+    have_first_death_ = true;
+    death_gen_ = sum_generated();
+    death_del_ = head_->packets_received();
+    // Until a repair happens, "after" also counts from the first death.
+    repair_gen_ = death_gen_;
+    repair_del_ = death_del_;
+  }
+}
+
+void PollingSimulation::replan_after_death(NodeId declared) {
+  declared_dead_.push_back(declared);
+  RouteRepair repair =
+      repair_routes(*topo_, declared_dead_, demand_, cfg_.routing);
+
+  // Re-probe interference over the transmissions the repaired plan uses.
+  // The old oracle is retired, not destroyed: the head still references
+  // it until its next phase begins.
+  retired_oracles_.push_back(std::move(oracle_));
+  oracle_ = std::make_unique<MeasuredOracle>(
+      *truth_, transmissions_of_paths(repair.probe_paths),
+      cfg_.oracle_order);
+  head_->set_oracle(*oracle_);
+
+  // The repaired cluster drains as one sector; re-home every surviving
+  // member so it follows sector-0 wake/sleep control.
+  for (NodeId s : repair.sectors.front().members)
+    sensors_[s]->set_sector(0);
+  head_->replace_plans(std::move(repair.sectors));
+  last_orphaned_ = repair.orphaned.size();
+  repair_gen_ = sum_generated();
+  repair_del_ = head_->packets_received();
 }
 
 SimulationReport PollingSimulation::run(Time duration, Time warmup) {
@@ -247,6 +316,42 @@ SimulationReport PollingSimulation::run(Time duration, Time warmup) {
   m.gauge(metric::kMeanLatencyS)
       .set(sim.now(),
            head_->latency_s().empty() ? 0.0 : head_->latency_s().mean());
+
+  // Degradation accounting — only when the run could degrade at all, so
+  // fault-free reports (keys and metrics snapshot included) stay
+  // byte-identical to pre-fault builds.
+  if (!cfg_.faults.empty() || cfg_.recovery.enabled) {
+    const auto sat = [](std::uint64_t a, std::uint64_t b) {
+      return a > b ? a - b : std::uint64_t{0};
+    };
+    const auto ratio = [](std::uint64_t del, std::uint64_t gen) {
+      return gen == 0 ? 1.0
+                      : static_cast<double>(del) / static_cast<double>(gen);
+    };
+    DegradationReport deg;
+    if (const FaultInjector* inj = rt_.faults(); inj != nullptr) {
+      deg.dead_nodes = inj->dead_nodes();
+      deg.deaths = deg.dead_nodes.size();
+    }
+    deg.deaths_detected = head_->deaths_detected();
+    deg.replans = head_->replans();
+    deg.orphaned_sensors = last_orphaned_;
+    const std::uint64_t gen_end = sum_generated();
+    const std::uint64_t del_end = head_->packets_received();
+    if (have_first_death_) {
+      deg.delivery_before = ratio(death_del_, death_gen_);
+      deg.delivery_after =
+          ratio(sat(del_end, repair_del_), sat(gen_end, repair_gen_));
+    } else {
+      deg.delivery_before = ratio(del_end, gen_end);
+      deg.delivery_after = deg.delivery_before;
+    }
+    rep.degradation = deg;
+    m.counter("fault.deaths").add(deg.deaths);
+    m.counter("fault.deaths_detected").add(deg.deaths_detected);
+    m.counter("fault.replans").add(deg.replans);
+    m.counter("fault.orphaned_sensors").add(deg.orphaned_sensors);
+  }
 
   static_cast<RunStats&>(rep) =
       rt_.collect_run_stats(measured, cfg_.data_bytes);

@@ -11,11 +11,13 @@
 // SimRuntime; this class only assembles the protocol agents on top.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/head_agent.hpp"
+#include "fault/fault_plan.hpp"
 #include "core/interference.hpp"
 #include "core/protocol_config.hpp"
 #include "core/routing.hpp"
@@ -38,10 +40,19 @@ struct SimulationReport : RunStats {
   double mean_duty_seconds = 0.0;  // per sector drain
   std::size_t sectors = 1;
 
+  /// Present iff the run had fault injection or recovery enabled
+  /// (cfg.faults non-empty or cfg.recovery.enabled); absent reports keep
+  /// fault-free runs byte-identical to pre-fault builds.
+  std::optional<DegradationReport> degradation;
+
   /// Time until the first sensor exhausts `battery_j` joules at the
-  /// measured power draw.
+  /// measured power draw.  +infinity when no sensor drew any power — an
+  /// idle cluster never exhausts a battery (callers that plot or rank
+  /// lifetimes must expect the infinity, not a 0.0 sentinel).
   double lifetime_s(double battery_j) const {
-    return max_sensor_power_w > 0.0 ? battery_j / max_sensor_power_w : 0.0;
+    return max_sensor_power_w > 0.0
+               ? battery_j / max_sensor_power_w
+               : std::numeric_limits<double>::infinity();
   }
 };
 
@@ -80,6 +91,13 @@ class PollingSimulation {
 
  private:
   void setup(const Deployment& deployment);
+  /// Fault-injector death handler: kill the agent, snapshot pre-fault
+  /// delivery on the first death.
+  void on_node_death(const NodeDeath& death);
+  /// HeadAgent replan handler: re-route around every node the head has
+  /// declared dead so far and hand the repaired plans/oracle back.
+  void replan_after_death(NodeId declared);
+  std::uint64_t sum_generated() const;
 
   /// Rebuilds the single-sector plan each cycle so multi-path sensors
   /// rotate per §V-D; caches the most recent cycle.
@@ -106,6 +124,17 @@ class PollingSimulation {
   std::unique_ptr<RotatingProvider> provider_;
   std::unique_ptr<HeadAgent> head_;
   std::vector<std::unique_ptr<SensorAgent>> sensors_;
+
+  // Fault-recovery state (untouched when faults are off).
+  std::vector<std::int64_t> demand_;      // set-up routing demand
+  std::vector<NodeId> declared_dead_;     // head's cumulative declarations
+  /// Oracles replaced by repairs; kept alive because the head's current
+  /// phase may still hold a reference to the previous one.
+  std::vector<std::unique_ptr<MeasuredOracle>> retired_oracles_;
+  std::uint64_t last_orphaned_ = 0;
+  bool have_first_death_ = false;
+  std::uint64_t death_gen_ = 0, death_del_ = 0;    // at first death
+  std::uint64_t repair_gen_ = 0, repair_del_ = 0;  // at last repair
 };
 
 }  // namespace mhp

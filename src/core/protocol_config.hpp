@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_plan.hpp"
 #include "radio/channel.hpp"
 #include "radio/energy.hpp"
 #include "sim/time.hpp"
@@ -25,6 +26,25 @@ enum class PropagationModel {
 enum class RoutingPolicy {
   kBalancedMaxFlow,
   kShortestPath,
+};
+
+/// Head-driven fault recovery: detect dead relays from unanswered polls
+/// and re-run the balanced max-flow routing on the surviving topology.
+/// Off by default — with recovery disabled (and an empty fault plan) the
+/// protocol behaves bit-for-bit as before this subsystem existed.
+struct FaultRecoveryConfig {
+  bool enabled = false;
+  /// Accumulated failed-poll evidence against a node before the head
+  /// declares it dead (each retry-exhausted request increments every
+  /// non-head node on its path; a heard or delivering node is cleared).
+  std::uint32_t suspect_polls = 3;
+  /// Base re-poll backoff after an unanswered poll, in slots; doubles
+  /// per consecutive failure of the same request.
+  std::uint32_t backoff_slots = 2;
+  std::uint32_t max_backoff_slots = 16;
+  /// Hard cap on route repairs per run (guards against a noisy channel
+  /// triggering repeated false declarations).
+  std::uint32_t max_replans = 8;
 };
 
 struct ProtocolConfig {
@@ -77,6 +97,12 @@ struct ProtocolConfig {
   double random_loss = 0.0;
 
   std::uint64_t seed = 1;
+
+  /// Injected faults (node deaths, link-degradation windows).  An empty
+  /// plan — the default — installs nothing and changes nothing.
+  FaultPlan faults;
+  /// Head-driven detection and route repair (see FaultRecoveryConfig).
+  FaultRecoveryConfig recovery;
 
   PropagationModel propagation = PropagationModel::kTwoRayGround;
   /// Shadowing parameters (kLogNormalShadowing only).

@@ -1,0 +1,72 @@
+#include "core/route_repair.hpp"
+
+#include <algorithm>
+
+#include "core/ack_collection.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+RouteRepair repair_routes(const ClusterTopology& topo,
+                          const std::vector<NodeId>& dead,
+                          std::vector<std::int64_t> demand,
+                          RoutingPolicy routing) {
+  const std::size_t n = topo.num_sensors();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+  std::vector<bool> alive(n, true);
+  for (NodeId d : dead) {
+    MHP_REQUIRE(d < n, "dead node outside the cluster");
+    alive[d] = false;
+  }
+
+  // Surviving topology: drop every edge touching a dead node and the
+  // head's uplinks from dead nodes; ids stay stable.
+  Graph links(n);
+  std::vector<bool> hears(n, false);
+  for (NodeId a = 0; a < n; ++a) {
+    if (!alive[a]) continue;
+    hears[a] = topo.head_hears(a);
+    for (NodeId b : topo.sensor_links().neighbors(a))
+      if (a < b && alive[b]) links.add_edge(a, b);
+  }
+  ClusterTopology survived(std::move(links), std::move(hears));
+
+  std::vector<NodeId> orphaned;
+  for (NodeId s = 0; s < n; ++s) {
+    if (!alive[s]) {
+      demand[s] = 0;
+    } else if (survived.level(s) == ClusterTopology::kUnreachable) {
+      demand[s] = 0;
+      orphaned.push_back(s);
+    }
+  }
+  MHP_REQUIRE(std::any_of(demand.begin(), demand.end(),
+                          [](std::int64_t d) { return d > 0; }),
+              "no sensor survives with a relay path");
+
+  RelayPlan plan = routing == RoutingPolicy::kShortestPath
+                       ? RelayPlan::shortest(survived, demand)
+                       : RelayPlan::balanced(survived, demand);
+
+  // One covering sector over the survivors, fixed cycle-0 paths.
+  SectorPlan sp;
+  std::vector<std::vector<NodeId>> candidates;
+  for (NodeId s = 0; s < n; ++s) {
+    if (demand[s] <= 0) continue;
+    sp.members.push_back(s);
+    auto path = plan.path_for_cycle(s, 0).hops;
+    sp.data_path[s] = path;
+    candidates.push_back(std::move(path));
+  }
+  const AckPlan ack = plan_ack_cover(sp.members, candidates);
+  MHP_ENSURE(ack.covers_all, "ack cover incomplete after repair");
+  sp.ack_paths = ack.poll_paths;
+
+  RouteRepair out{std::move(survived), std::move(plan), {}, std::move(orphaned),
+                  std::move(candidates)};
+  for (const auto& p : sp.ack_paths) out.probe_paths.push_back(p);
+  out.sectors.push_back(std::move(sp));
+  return out;
+}
+
+}  // namespace mhp

@@ -1,0 +1,41 @@
+// Head-side route repair after a node death (fault-recovery subsystem).
+//
+// When the head declares a node dead it re-runs the same §III-A routing
+// on the surviving topology: the dead node's edges disappear, sensors
+// with no remaining relay path to the head are orphaned (demand dropped),
+// and the result is a single covering sector plan with a fresh ack cover
+// — the repaired cluster is drained whole; sectoring and path rotation
+// are suspended after a repair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/head_agent.hpp"
+#include "core/protocol_config.hpp"
+#include "core/routing.hpp"
+#include "net/cluster.hpp"
+
+namespace mhp {
+
+/// Everything a repair produces.  The caller re-probes interference over
+/// `probe_paths` (the transmissions the new plan uses) and hands
+/// `sectors` plus the new oracle to the head.
+struct RouteRepair {
+  ClusterTopology topo;  // surviving topology (dead nodes isolated)
+  RelayPlan plan;
+  std::vector<SectorPlan> sectors;  // exactly one covering sector
+  /// Alive sensors left without any relay path to the head.
+  std::vector<NodeId> orphaned;
+  std::vector<std::vector<NodeId>> probe_paths;
+};
+
+/// Re-route `topo` minus `dead`.  `demand[s]` is the per-cycle packet
+/// demand used at set-up; dead and orphaned sensors are re-solved with
+/// zero demand.  Requires at least one sensor to survive with a path.
+RouteRepair repair_routes(const ClusterTopology& topo,
+                          const std::vector<NodeId>& dead,
+                          std::vector<std::int64_t> demand,
+                          RoutingPolicy routing);
+
+}  // namespace mhp

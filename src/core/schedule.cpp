@@ -78,6 +78,16 @@ ValidationResult validate_schedule(std::span<const PollingRequest> requests,
     std::vector<Tx> group;
     group.reserve(schedule.slots[t].size());
     for (const auto& s : schedule.slots[t]) group.push_back(s.tx);
+    // The oracle judges the set of concurrent transmissions; duplicate
+    // Tx entries (one radio sending two frames in a slot) are a
+    // scheduler bug it can no longer see, so reject them here.
+    for (std::size_t i = 0; i < group.size(); ++i)
+      for (std::size_t j = i + 1; j < group.size(); ++j)
+        if (group[i] == group[j]) {
+          std::ostringstream os;
+          os << "slot " << t << " schedules the same transmission twice";
+          return ValidationResult::failure(os.str());
+        }
     if (!oracle.compatible(group)) {
       std::ostringstream os;
       os << "slot " << t << " group incompatible";

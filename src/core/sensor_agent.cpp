@@ -34,6 +34,7 @@ void SensorAgent::start_sampling(double rate_bytes_per_s) {
 }
 
 void SensorAgent::generate_packet() {
+  if (dead_) return;  // a dead node stops sampling (and rescheduling)
   ++generated_;
   if (queue_.size() >= cfg_.queue_capacity) {
     // Overflow: drop the oldest sample (freshest data is worth more).
@@ -57,17 +58,23 @@ std::uint32_t SensorAgent::backlog() const {
 }
 
 void SensorAgent::on_frame_begin(const Frame&, NodeId, double, Time) {
-  if (asleep_ || transmitting_) return;
+  if (dead_ || asleep_ || transmitting_) return;
   if (rx_depth_++ == 0) tracker_.set_state(sim_.now(), RadioState::kRx);
 }
 
 void SensorAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
+  if (dead_) return;
   if (!asleep_ && !transmitting_ && rx_depth_ > 0) {
     if (--rx_depth_ == 0) tracker_.set_state(sim_.now(), RadioState::kIdle);
   }
+  if (maybe_die()) return;    // receiving spent the last of the battery
   if (asleep_) return;        // radio off: frame never decoded
   if (transmitting_) return;  // half-duplex
   if (!phy_ok) return;
+  if (faults_ != nullptr) {
+    const double loss = faults_->link_loss(from, id_, sim_.now());
+    if (loss > 0.0 && rng_.bernoulli(loss)) return;  // degraded link
+  }
   if (frame.dst != kBroadcast && frame.dst != id_) return;
 
   switch (frame.kind) {
@@ -159,7 +166,7 @@ void SensorAgent::send_frame(FrameKind kind, NodeId dst, std::uint32_t bytes,
   // Transmit after the radio turnaround.
   sim_.after(cfg_.turnaround, [this, kind, dst, bytes,
                                payload = std::move(payload)]() mutable {
-    if (asleep_) return;
+    if (dead_ || asleep_) return;
     Frame f;
     f.uid = uids_.next();
     f.kind = kind;
@@ -173,10 +180,12 @@ void SensorAgent::send_frame(FrameKind kind, NodeId dst, std::uint32_t bytes,
     ++frames_sent_;
     channel_.transmit(id_, f);
     sim_.after(channel_.airtime(bytes), [this] {
+      if (dead_) return;
       transmitting_ = false;
       if (!asleep_)
         tracker_.set_state(sim_.now(),
                            rx_depth_ > 0 ? RadioState::kRx : RadioState::kIdle);
+      maybe_die();  // transmitting may have spent the last of the battery
     });
   });
 }
@@ -200,13 +209,43 @@ void SensorAgent::go_to_sleep(const SleepMsg& sleep) {
 }
 
 void SensorAgent::wake_up() {
-  if (!asleep_) return;
+  if (dead_ || !asleep_) return;
+  if (maybe_die()) return;  // battery emptied during the night
   asleep_ = false;
   awake_since_ = sim_.now();
   tracker_.set_state(sim_.now(), RadioState::kIdle);
 }
 
+void SensorAgent::fail() {
+  if (dead_) return;
+  dead_ = true;
+  asleep_ = true;
+  transmitting_ = false;
+  rx_depth_ = 0;
+  tracker_.set_state(sim_.now(), RadioState::kSleep);
+}
+
+void SensorAgent::set_battery(double budget_j,
+                              std::function<void()> on_exhausted) {
+  MHP_REQUIRE(budget_j > 0.0, "battery budget must be positive");
+  battery_j_ = budget_j;
+  on_battery_exhausted_ = std::move(on_exhausted);
+}
+
+bool SensorAgent::maybe_die() {
+  if (dead_ || battery_j_ <= 0.0) return false;
+  tracker_.settle(sim_.now());
+  const double used =
+      consumed_before_reset_ + tracker_.meter().total_energy_j();
+  if (used < battery_j_) return false;
+  fail();
+  if (on_battery_exhausted_) on_battery_exhausted_();
+  return true;
+}
+
 void SensorAgent::reset_stats(Time now) {
+  tracker_.settle(now);
+  consumed_before_reset_ += tracker_.meter().total_energy_j();
   tracker_.reset(now);
   generated_ = 0;
   dropped_ = 0;

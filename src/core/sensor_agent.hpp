@@ -7,10 +7,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 
 #include "core/protocol_config.hpp"
+#include "fault/fault_injector.hpp"
 #include "core/protocol_messages.hpp"
 #include "metrics/registry.hpp"
 #include "net/packet.hpp"
@@ -43,6 +45,21 @@ class SensorAgent : public ChannelListener {
 
   /// Queue length the sensor would report in an ack right now.
   std::uint32_t backlog() const;
+
+  // --- fault injection ---
+  /// Kill the node: radio off for good, every pending callback becomes a
+  /// no-op.  Idempotent.  The head only learns of it from unanswered
+  /// polls — there is no out-of-band death notification.
+  void fail();
+  bool dead() const { return dead_; }
+  /// Give the node a finite battery; once its total consumed energy
+  /// (across reset_stats() rebasing) reaches `budget_j` it fail()s and
+  /// `on_exhausted` fires once.  0 = unlimited (the default).
+  void set_battery(double budget_j, std::function<void()> on_exhausted);
+  /// Consult `f`'s link-degradation windows on frame reception
+  /// (nullptr = off).  Draws from this agent's rng only while a matching
+  /// window is active, so an empty plan perturbs nothing.
+  void set_fault_injector(const FaultInjector* f) { faults_ = f; }
 
   // --- ChannelListener ---
   void on_frame_begin(const Frame& frame, NodeId from, double rx_power_w,
@@ -78,6 +95,9 @@ class SensorAgent : public ChannelListener {
   void generate_packet();
   void send_frame(FrameKind kind, NodeId dst, std::uint32_t bytes,
                   std::any payload);
+  /// Settle energy and fail() if the battery budget is spent.  Returns
+  /// true when the node (just) died.
+  bool maybe_die();
 
   NodeId id_;
   Simulator& sim_;
@@ -89,8 +109,15 @@ class SensorAgent : public ChannelListener {
   RadioTracker tracker_;
   bool asleep_ = true;
   bool transmitting_ = false;
+  bool dead_ = false;
   int rx_depth_ = 0;
   Time awake_since_ = Time::zero();
+  const FaultInjector* faults_ = nullptr;
+  double battery_j_ = 0.0;  // 0 = unlimited
+  std::function<void()> on_battery_exhausted_;
+  /// Energy spent before the last reset_stats() — the meter is rebased
+  /// at warmup but the battery drains over the node's whole life.
+  double consumed_before_reset_ = 0.0;
 
   std::deque<DataPayload> queue_;              // sampled, not yet polled
   std::map<std::uint32_t, DataPayload> in_flight_;  // polled this cycle

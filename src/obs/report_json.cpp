@@ -87,6 +87,19 @@ Json to_json(const RunStats& stats) {
       .set("metrics", to_json(stats.metrics));
 }
 
+Json to_json(const DegradationReport& deg) {
+  Json dead = Json::array();
+  for (const NodeId node : deg.dead_nodes) dead.push_back(Json(node));
+  return Json::object()
+      .set("deaths", Json(deg.deaths))
+      .set("deaths_detected", Json(deg.deaths_detected))
+      .set("replans", Json(deg.replans))
+      .set("orphaned_sensors", Json(deg.orphaned_sensors))
+      .set("dead_nodes", std::move(dead))
+      .set("delivery_before", Json(deg.delivery_before))
+      .set("delivery_after", Json(deg.delivery_after));
+}
+
 Json to_json(const SimulationReport& report) {
   Json body = to_json(static_cast<const RunStats&>(report));
   body.set("packets_lost", Json(report.packets_lost))
@@ -95,6 +108,10 @@ Json to_json(const SimulationReport& report) {
       .set("max_sensor_power_w", Json(report.max_sensor_power_w))
       .set("mean_duty_seconds", Json(report.mean_duty_seconds))
       .set("sectors", Json(report.sectors));
+  // Only faulted runs carry the key: fault-free documents stay
+  // byte-identical to pre-fault builds.
+  if (report.degradation)
+    body.set("degradation", to_json(*report.degradation));
   return report_envelope("polling", std::move(body));
 }
 
@@ -104,6 +121,8 @@ Json to_json(const SmacReport& report) {
       .set("control_frames", Json(report.control_frames))
       .set("rreq_floods", Json(report.rreq_floods))
       .set("mac_failures", Json(report.mac_failures));
+  if (report.degradation)
+    body.set("degradation", to_json(*report.degradation));
   return report_envelope("smac", std::move(body));
 }
 
@@ -124,6 +143,8 @@ Json to_json(const MultiClusterReport& report) {
                   .set("channels_used", Json(report.channels_used))
                   .set("clusters", std::move(per_cluster))
                   .set("totals", to_json(report.totals));
+  if (report.degradation)
+    body.set("degradation", to_json(*report.degradation));
   return report_envelope("multi_cluster", std::move(body));
 }
 

@@ -19,6 +19,7 @@ namespace mhp {
 struct SimulationReport;
 struct SmacReport;
 struct MultiClusterReport;
+struct DegradationReport;
 }  // namespace mhp
 
 namespace mhp::obs {
@@ -28,6 +29,7 @@ inline constexpr int kReportSchemaVersion = 1;
 
 Json to_json(const MetricsSnapshot& snap);
 Json to_json(const RunStats& stats);
+Json to_json(const DegradationReport& deg);
 Json to_json(const SimulationReport& report);
 Json to_json(const SmacReport& report);
 Json to_json(const MultiClusterReport& report);

@@ -36,6 +36,12 @@ const Propagation& SimRuntime::propagation() const {
   return *propagation_;
 }
 
+FaultInjector& SimRuntime::install_faults(const FaultPlan& plan) {
+  MHP_REQUIRE(faults_ == nullptr, "runtime already has a fault injector");
+  faults_ = std::make_unique<FaultInjector>(sim_, plan, &trace_);
+  return *faults_;
+}
+
 Channel& SimRuntime::add_channel(RadioParams params,
                                  std::vector<Vec2> positions,
                                  std::vector<double> tx_power_w) {

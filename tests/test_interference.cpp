@@ -167,5 +167,20 @@ TEST(TransmissionsOfPaths, ExtractsHops) {
   EXPECT_TRUE(std::find(txs.begin(), txs.end(), Tx{1, 5}) != txs.end());
 }
 
+TEST(Oracle, DuplicateEntriesCollapseToTheSet) {
+  // compatible() judges the *set* of concurrent transmissions: duplicate
+  // entries normalize away before the structural checks, so a group with
+  // a repeated Tx is judged as its deduplicated form.  (Structural
+  // violations between *distinct* entries still reject.)
+  ExplicitOracle oracle(2);
+  const Tx a{0, 1};
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, a}));  // = {a}
+  const Tx b{2, 3};
+  oracle.allow_pair(a, b);
+  EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, b, a}));  // = {a,b}
+  // Same sender toward two receivers is still structurally invalid.
+  EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, Tx{0, 2}}));
+}
+
 }  // namespace
 }  // namespace mhp

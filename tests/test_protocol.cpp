@@ -2,6 +2,8 @@
 // the discrete-event channel (cluster head + sensor agents).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/polling_simulation.hpp"
 #include "metrics/lifetime.hpp"
 #include "net/deployment.hpp"
@@ -254,6 +256,16 @@ TEST(Lifetime, FirstAndMedianDeath) {
   EXPECT_DOUBLE_EQ(lifetime_first_death_s(powers, battery), 25.0);
   EXPECT_DOUBLE_EQ(lifetime_median_death_s(powers, battery), 50.0);
   EXPECT_DOUBLE_EQ(analytic_power_rate(2.0, 3.0, 4.0, 5.0), 23.0);
+}
+
+TEST(Lifetime, ReportLifetimeIsInfiniteWhenNoPowerWasDrawn) {
+  // An idle cluster never exhausts a battery: +inf, not a 0.0 sentinel
+  // that would rank an idle cluster as the shortest-lived one.
+  SimulationReport r;
+  EXPECT_TRUE(std::isinf(r.lifetime_s(100.0)));
+  EXPECT_GT(r.lifetime_s(100.0), 0.0);
+  r.max_sensor_power_w = 0.5;
+  EXPECT_DOUBLE_EQ(r.lifetime_s(100.0), 200.0);
 }
 
 }  // namespace

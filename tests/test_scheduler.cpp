@@ -358,5 +358,45 @@ TEST(Optimal, EmptyInstance) {
   EXPECT_EQ(result->slots, 0u);
 }
 
+TEST(OfflineRun, TruncatedRunStillReportsCounters) {
+  // Every hop fails, so the lone request is re-polled forever and the
+  // run hits max_slots.  The truncated result must still carry the
+  // attempt counters (they used to come back zeroed on this path).
+  ExplicitOracle oracle(2);
+  const std::vector<std::vector<NodeId>> paths = {{0, 9}};
+  const auto always_lose = [](const ScheduledTx&, std::size_t) {
+    return false;
+  };
+  const auto r = run_offline(oracle, paths, always_lose, /*max_slots=*/10);
+  EXPECT_FALSE(r.all_delivered);
+  EXPECT_EQ(r.slots, 10u);
+  EXPECT_GE(r.transmissions, 10u);
+  EXPECT_GE(r.reactivations, 9u);
+}
+
+TEST(Greedy, IdenticalPathsNeverShareOneTransmission) {
+  // Two packets from the same sensor use the same edge: the set-semantics
+  // oracle cannot tell two copies apart, so the scheduler itself must
+  // serialize them (one radio sends one frame per slot).
+  ExplicitOracle oracle(4);
+  const std::vector<std::vector<NodeId>> paths = {{0, 9}, {0, 9}};
+  const auto r = run_offline(oracle, paths);
+  EXPECT_TRUE(r.all_delivered);
+  EXPECT_EQ(r.slots, 2u);
+  for (const auto& slot : r.schedule.slots) EXPECT_LE(slot.size(), 1u);
+}
+
+TEST(Optimal, IdenticalPathsNeverShareOneTransmission) {
+  ExplicitOracle oracle(4);
+  std::vector<PollingRequest> reqs;
+  reqs.push_back(PollingRequest{0, {0, 9}});
+  reqs.push_back(PollingRequest{1, {0, 9}});
+  OptimalScheduler solver(oracle);
+  const auto result = solver.solve(reqs);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->slots, 2u);
+  EXPECT_TRUE(validate_schedule(reqs, result->schedule, oracle).ok);
+}
+
 }  // namespace
 }  // namespace mhp

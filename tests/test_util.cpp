@@ -4,6 +4,7 @@
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -276,6 +277,20 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   std::atomic<int> count{0};
   for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
   pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 17)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives the throw and runs the next batch completely.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 50);
 }
 
