@@ -1,0 +1,227 @@
+// Hot-path scaling trajectory: topology construction (spatial grid vs the
+// O(n²) brute-force reference), min-max-load routing, and one full greedy
+// polling cycle over n ∈ {50, 200, 500, 1000} sensors at constant density.
+//
+// The polling cycle runs the offline greedy scheduler through a
+// CachedOracle over the disc interference model, so the emitted
+// BENCH_perf.json carries the three numbers the ROADMAP's scaling story
+// needs: wall time per stage, scheduled transmissions per second, and the
+// oracle cache hit rate.  Each row also records a *generous* floor
+// (tx/sec ÷ 20) that CI's perf-smoke job checks future runs against.
+//
+//   --smoke               small points only (n ∈ {50, 200}) for CI
+//   --baseline <path>     after running, compare the n=200 tx/sec against
+//                         the floor recorded in <path>; exit 1 on regression
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/greedy_scheduler.hpp"
+#include "core/interference.hpp"
+#include "core/routing.hpp"
+#include "exp/bench_json.hpp"
+#include "exp/csv_out.hpp"
+#include "net/deployment.hpp"
+#include "obs/json.hpp"
+#include "util/assertx.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+struct Point {
+  std::size_t sensors;
+};
+
+struct Result {
+  double topo_grid_ms = 0.0;
+  double topo_brute_ms = 0.0;
+  double topo_speedup = 0.0;
+  double routing_ms = 0.0;
+  long long polling_slots = 0;
+  long long polling_tx = 0;
+  double polling_ms = 0.0;
+  double tx_per_sec = 0.0;
+  double cache_hit_rate = 0.0;
+  double floor_tx_per_sec = 0.0;
+};
+
+constexpr double kSensorRange = 60.0;
+/// ~1000 m² per sensor keeps density (and so expected node degree ≈ 11)
+/// constant across n: the grid path stays O(n) while brute force grows
+/// O(n²) — exactly the scaling the speedup column demonstrates.
+double side_for(std::size_t n) {
+  return std::sqrt(1000.0 * static_cast<double>(n));
+}
+
+Result run_point(const Point& p) {
+  using namespace mhp;
+  Result out;
+  Rng rng(0x9e1f + p.sensors);
+  const Deployment dep = deploy_connected_uniform_square(
+      p.sensors, side_for(p.sensors), kSensorRange, rng);
+
+  // Topology: grid vs brute force, best-effort amortized over repeats.
+  const int grid_reps = 10;
+  const int brute_reps = p.sensors > 300 ? 3 : 10;
+  std::size_t edges_grid = 0, edges_brute = 0;
+  auto t0 = Clock::now();
+  for (int r = 0; r < grid_reps; ++r)
+    edges_grid = disc_topology(dep, kSensorRange).sensor_links().edge_count();
+  out.topo_grid_ms = ms_since(t0) / grid_reps;
+  t0 = Clock::now();
+  for (int r = 0; r < brute_reps; ++r)
+    edges_brute =
+        disc_topology_brute_force(dep, kSensorRange).sensor_links()
+            .edge_count();
+  out.topo_brute_ms = ms_since(t0) / brute_reps;
+  MHP_REQUIRE(edges_grid == edges_brute, "grid and brute graphs disagree");
+  out.topo_speedup =
+      out.topo_grid_ms > 0.0 ? out.topo_brute_ms / out.topo_grid_ms : 0.0;
+
+  // Routing: one min-max-load solve, unit demand everywhere.
+  const ClusterTopology topo = disc_topology(dep, kSensorRange);
+  const std::vector<std::int64_t> demand(p.sensors, 1);
+  t0 = Clock::now();
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  out.routing_ms = ms_since(t0);
+
+  // One polling cycle: drain every sensor's packet through the greedy
+  // scheduler, disc-model interference behind the memoizing cache.
+  std::vector<std::vector<NodeId>> paths;
+  paths.reserve(p.sensors);
+  for (NodeId s = 0; s < p.sensors; ++s)
+    paths.push_back(plan.path_for_cycle(s, 0).hops);
+  const DiscModelOracle truth(dep.positions, kSensorRange, 3);
+  const CachedOracle cached(truth);
+  t0 = Clock::now();
+  const OfflineRunResult run = run_offline(cached, paths);
+  out.polling_ms = ms_since(t0);
+  MHP_REQUIRE(run.all_delivered, "offline polling cycle did not finish");
+  out.polling_slots = static_cast<long long>(run.slots);
+  out.polling_tx = static_cast<long long>(run.transmissions);
+  out.tx_per_sec = out.polling_ms > 0.0
+                       ? 1000.0 * static_cast<double>(run.transmissions) /
+                             out.polling_ms
+                       : 0.0;
+  const double queries =
+      static_cast<double>(cached.hits() + cached.misses());
+  out.cache_hit_rate =
+      queries > 0.0 ? static_cast<double>(cached.hits()) / queries : 0.0;
+  out.floor_tx_per_sec = out.tx_per_sec / 20.0;
+  return out;
+}
+
+/// The committed baseline's floor for the n=200 point, or -1 when absent.
+double baseline_floor(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return -1.0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const mhp::obs::Json doc = mhp::obs::parse_json(buf.str());
+  const mhp::obs::Json* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) return -1.0;
+  for (std::size_t i = 0; i < points->size(); ++i) {
+    const mhp::obs::Json& row = points->at(i);
+    const mhp::obs::Json* n = row.find("sensors");
+    const mhp::obs::Json* floor = row.find("floor_tx_per_sec");
+    if (n != nullptr && floor != nullptr && n->as_int() == 200)
+      return floor->as_double();
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mhp;
+  bool smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+      baseline_path = argv[++i];
+  }
+  // Parse the baseline up front: this run overwrites BENCH_perf.json in
+  // the working directory, and CI points --baseline at the committed copy.
+  double floor = -1.0;
+  if (!baseline_path.empty()) {
+    floor = baseline_floor(baseline_path);
+    if (floor < 0.0) {
+      std::fprintf(stderr, "perf_scaling: no n=200 floor in baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+  }
+  obs::RunRecorder recorder;
+
+  std::vector<Point> points;
+  if (smoke) {
+    points = {{50}, {200}};
+  } else {
+    points = {{50}, {200}, {500}, {1000}};
+  }
+
+  // Sequential on purpose: the columns are wall-clock timings and thread
+  // contention would corrupt them (determinism of the *results* under
+  // exp::sweep threading is pinned separately in tests/test_exp.cpp).
+  std::vector<Result> results;
+  results.reserve(points.size());
+  for (const Point& p : points) results.push_back(run_point(p));
+
+  std::printf(
+      "Hot-path scaling — spatial-grid topology, cached oracle, greedy "
+      "polling\n(topo speedup = brute-force / grid build time)\n\n");
+
+  Table table({"sensors", "topo grid ms", "topo brute ms", "topo_speedup",
+               "routing ms", "polling_slots", "polling tx", "polling ms",
+               "tx_per_sec", "cache_hit_rate", "floor_tx_per_sec"});
+  table.set_precision(1, 3);
+  table.set_precision(2, 3);
+  table.set_precision(3, 1);
+  table.set_precision(4, 2);
+  table.set_precision(7, 2);
+  table.set_precision(8, 0);
+  table.set_precision(9, 3);
+  table.set_precision(10, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Result& r = results[i];
+    table.add_row({static_cast<long long>(points[i].sensors),
+                   r.topo_grid_ms, r.topo_brute_ms, r.topo_speedup,
+                   r.routing_ms, r.polling_slots, r.polling_tx,
+                   r.polling_ms, r.tx_per_sec, r.cache_hit_rate,
+                   r.floor_tx_per_sec});
+    recorder.add_events(static_cast<std::uint64_t>(r.polling_tx));
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  mhp::exp::save_csv("perf_scaling.csv", table);
+  mhp::exp::save_bench_json("perf", table, recorder);
+
+  if (!baseline_path.empty()) {
+    double current = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (points[i].sensors == 200) current = results[i].tx_per_sec;
+    if (current < floor) {
+      std::fprintf(stderr,
+                   "perf_scaling: REGRESSION — n=200 tx/sec %.0f below "
+                   "baseline floor %.0f\n",
+                   current, floor);
+      return 1;
+    }
+    std::printf("perf floor check ok: n=200 tx/sec %.0f >= floor %.0f\n",
+                current, floor);
+  }
+  return 0;
+}

@@ -27,9 +27,12 @@ std::vector<ScheduledTx>& GreedyPollingScheduler::occupancy(std::size_t slot) {
 
 bool GreedyPollingScheduler::admissible(const PollingRequest& r) const {
   const auto order = static_cast<std::size_t>(oracle_.order());
+  // scratch_ is reused across hops and calls: this runs for every pending
+  // request every slot, so a per-hop vector allocation dominates at scale.
+  std::vector<Tx>& group = scratch_;
   for (std::size_t j = 0; j < r.hop_count(); ++j) {
     const std::size_t k = j;  // hop j runs in slot slot_ + j
-    std::vector<Tx> group;
+    group.clear();
     if (k < future_.size()) {
       for (const auto& s : future_[k]) {
         // The oracle answers for *sets* of transmissions, so a hop that

@@ -84,6 +84,8 @@ class GreedyPollingScheduler {
   bool admissible(const PollingRequest& r) const;
 
   const CompatibilityOracle& oracle_;
+  /// Group buffer admissible() refills per hop instead of allocating.
+  mutable std::vector<Tx> scratch_;
   std::vector<Request> requests_;
   std::deque<std::vector<ScheduledTx>> future_;  // future_[k] = slot_+k
   Schedule history_;

@@ -111,6 +111,39 @@ bool MeasuredOracle::compatible_impl(const TxGroup& group) const {
   return compatible_.contains(group);
 }
 
+bool DiscModelOracle::compatible_impl(const TxGroup& group) const {
+  for (std::size_t i = 0; i < group.size(); ++i)
+    for (std::size_t j = 0; j < group.size(); ++j) {
+      if (i == j) continue;
+      if (distance(positions_.at(group[i].to),
+                   positions_.at(group[j].from)) <= range_)
+        return false;  // receiver i hears sender j: collision
+    }
+  return true;
+}
+
+bool CachedOracle::compatible(std::span<const Tx> txs) const {
+  // Mirror the base class's trivial-group handling so cached and uncached
+  // answers agree on every input; only non-trivial groups hit the memo.
+  TxGroup g = normalize(txs);
+  if (g.size() <= 1) return g.empty() || g[0].from != g[0].to;
+  if (static_cast<int>(g.size()) > order()) return false;
+  if (const auto it = cache_.find(g); it != cache_.end()) {
+    ++hits_;
+    if (hit_counter_) hit_counter_->add();
+    return it->second;
+  }
+  ++misses_;
+  if (miss_counter_) miss_counter_->add();
+  const bool ok = inner_.compatible(g);
+  cache_.emplace(std::move(g), ok);
+  return ok;
+}
+
+bool CachedOracle::compatible_impl(const TxGroup& group) const {
+  return inner_.compatible(group);
+}
+
 std::uint64_t MeasuredOracle::probe_count(std::size_t universe_size,
                                           int order) {
   std::uint64_t total = 0;

@@ -13,11 +13,14 @@
 #include <map>
 #include <set>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "metrics/registry.hpp"
 #include "net/cluster.hpp"
 #include "net/ids.hpp"
 #include "radio/channel.hpp"
+#include "util/geometry.hpp"
 
 namespace mhp {
 
@@ -33,6 +36,23 @@ struct Tx {
 using TxGroup = std::vector<Tx>;
 TxGroup normalize(std::span<const Tx> txs);
 
+/// FNV-1a over the group's endpoint ids — groups are normalized, so equal
+/// sets hash equally.  Key type for the CachedOracle's memo table.
+struct TxGroupHash {
+  std::size_t operator()(const TxGroup& g) const {
+    std::uint64_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (const Tx& t : g) {
+      mix(static_cast<std::uint64_t>(t.from));
+      mix(static_cast<std::uint64_t>(t.to));
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
 /// Structural feasibility every oracle enforces before its own answer:
 /// distinct senders, no node both sending and receiving (half-duplex),
 /// no receiver hearing two group members addressed to it.
@@ -47,7 +67,8 @@ class CompatibilityOracle {
 
   /// True iff the group can run concurrently with every transmission
   /// received.  Groups larger than order() are conservatively incompatible.
-  bool compatible(std::span<const Tx> txs) const;
+  /// Virtual so decorators (CachedOracle) can intercept the whole query.
+  virtual bool compatible(std::span<const Tx> txs) const;
 
  protected:
   /// Answer for a structurally valid, normalized group of size in
@@ -134,6 +155,71 @@ class MeasuredOracle : public CompatibilityOracle {
   int order_;
   std::uint64_t probes_ = 0;
   std::set<TxGroup> compatible_;
+};
+
+/// Protocol-model (disc) ground truth: a group is compatible iff every
+/// receiver is strictly farther than `interference_range` from every other
+/// group member's sender.  The paper refuses this model for the *protocol*
+/// (§III-B) — it exists as a cheap geometric stand-in for benches and
+/// property tests that need an O(k²) oracle at deployments far larger than
+/// SINR evaluation can afford.  `positions[id]` must cover every node a
+/// query names (a Deployment's positions vector works as-is).
+class DiscModelOracle : public CompatibilityOracle {
+ public:
+  DiscModelOracle(std::vector<Vec2> positions, double interference_range,
+                  int order)
+      : positions_(std::move(positions)),
+        range_(interference_range),
+        order_(order) {}
+
+  int order() const override { return order_; }
+
+ protected:
+  bool compatible_impl(const TxGroup& group) const override;
+
+ private:
+  std::vector<Vec2> positions_;
+  double range_;
+  int order_;
+};
+
+/// Memoizing decorator: caches normalized-group → verdict in a hash map so
+/// repeated queries (the greedy scheduler asks about the same slot groups
+/// every planning pass) cost one hash lookup instead of the inner oracle's
+/// set search or SINR evaluation.  Verdicts are identical to the inner
+/// oracle's by construction — wrapping an oracle never changes behaviour,
+/// only speed.  Not thread-safe; one instance per simulation, like every
+/// other oracle.  The inner oracle must outlive the cache.
+class CachedOracle : public CompatibilityOracle {
+ public:
+  explicit CachedOracle(const CompatibilityOracle& inner) : inner_(inner) {}
+
+  int order() const override { return inner_.order(); }
+
+  bool compatible(std::span<const Tx> txs) const override;
+
+  /// Additionally tally every hit/miss into registry counters (the sims
+  /// bind metric::kOracleCacheHit / kOracleCacheMiss).  nullptr unbinds.
+  void bind_counters(Counter* hits, Counter* misses) {
+    hit_counter_ = hits;
+    miss_counter_ = misses;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return cache_.size(); }
+
+ protected:
+  /// Unreached (compatible() is fully overridden); delegates for safety.
+  bool compatible_impl(const TxGroup& group) const override;
+
+ private:
+  const CompatibilityOracle& inner_;
+  mutable std::unordered_map<TxGroup, bool, TxGroupHash> cache_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  Counter* hit_counter_ = nullptr;
+  Counter* miss_counter_ = nullptr;
 };
 
 /// The set of single-hop transmissions used by a set of relaying paths —

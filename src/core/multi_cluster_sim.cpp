@@ -154,8 +154,9 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
         *rt.truth, transmissions_of_paths(all_paths), cfg_.oracle_order);
 
     rt.head_agent = std::make_unique<HeadAgent>(
-        rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_, *rt.oracle,
-        std::vector<SectorPlan>{sp}, root.split(1000 + c));
+        rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_,
+        scheduling_oracle(rt), std::vector<SectorPlan>{sp},
+        root.split(1000 + c));
     rt.head_agent->set_latency_histogram(&latency_hist);
     rt.sensors.reserve(n);
     for (NodeId s = 0; s < n; ++s) {
@@ -223,6 +224,17 @@ std::uint64_t MultiClusterSimulation::sum_delivered() const {
   return total;
 }
 
+const CompatibilityOracle& MultiClusterSimulation::scheduling_oracle(
+    ClusterRt& rt) {
+  if (!cfg_.cache_oracle) return *rt.oracle;
+  if (rt.cached) rt.retired_caches.push_back(std::move(rt.cached));
+  rt.cached = std::make_unique<CachedOracle>(*rt.oracle);
+  MetricsRegistry& m = rt_.metrics();
+  rt.cached->bind_counters(&m.counter(metric::kOracleCacheHit),
+                           &m.counter(metric::kOracleCacheMiss));
+  return *rt.cached;
+}
+
 void MultiClusterSimulation::on_node_death(const NodeDeath& death) {
   sensor_by_field_id(death.node).fail();
   if (!have_first_death_) {
@@ -263,7 +275,7 @@ void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
   rt.retired_oracles.push_back(std::move(rt.oracle));
   rt.oracle = std::make_unique<MeasuredOracle>(
       *rt.truth, transmissions_of_paths(probe_paths), cfg_.oracle_order);
-  rt.head_agent->set_oracle(*rt.oracle);
+  rt.head_agent->set_oracle(scheduling_oracle(rt));
   rt.head_agent->replace_plans({std::move(sp)});
   rt.last_orphaned = repair.orphaned.size();
   repair_gen_ = sum_generated();

@@ -76,17 +76,23 @@ class MultiClusterSimulation {
     std::unique_ptr<RelayPlan> plan;
     std::unique_ptr<ChannelOracle> truth;
     std::unique_ptr<MeasuredOracle> oracle;
+    std::unique_ptr<CachedOracle> cached;
     std::unique_ptr<HeadAgent> head_agent;
     std::vector<std::unique_ptr<SensorAgent>> sensors;
     // Fault-recovery state (local sensor ids).
     std::vector<std::int64_t> demand;
     std::vector<NodeId> declared_dead;
     std::vector<std::unique_ptr<MeasuredOracle>> retired_oracles;
+    std::vector<std::unique_ptr<CachedOracle>> retired_caches;
     std::uint64_t last_orphaned = 0;
   };
 
   void build(std::vector<ClusterSpec> clusters, double rate_bps,
              double interference_range);
+  /// Cluster c's scheduling oracle: its measured oracle, or a fresh
+  /// CachedOracle wrapper when cfg.cache_oracle is on (hit/miss counters
+  /// aggregate field-wide in the shared runtime registry).
+  const CompatibilityOracle& scheduling_oracle(ClusterRt& rt);
   SensorAgent& sensor_by_field_id(NodeId field_id);
   void on_node_death(const NodeDeath& death);
   void replan_cluster(std::size_t c, NodeId declared);

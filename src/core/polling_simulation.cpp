@@ -152,17 +152,18 @@ void PollingSimulation::setup(const Deployment& deployment) {
       for (const auto& p : plan_->paths(s)) all_paths.push_back(p.hops);
   oracle_ = std::make_unique<MeasuredOracle>(
       *truth_, transmissions_of_paths(all_paths), cfg_.oracle_order);
+  const CompatibilityOracle& sched_oracle = scheduling_oracle();
 
   Rng& root = rt_.root_rng();
   if (rotate) {
     provider_ = std::make_unique<RotatingProvider>(*topo_, *plan_);
     head_ = std::make_unique<HeadAgent>(topo_->head(), rt_.sim(), channel,
-                                        rt_.uids(), cfg_, *oracle_,
+                                        rt_.uids(), cfg_, sched_oracle,
                                         *provider_, root.split(0),
                                         &rt_.trace());
   } else {
     head_ = std::make_unique<HeadAgent>(topo_->head(), rt_.sim(), channel,
-                                        rt_.uids(), cfg_, *oracle_,
+                                        rt_.uids(), cfg_, sched_oracle,
                                         std::move(sector_plans),
                                         root.split(0), &rt_.trace());
   }
@@ -216,6 +217,18 @@ void PollingSimulation::setup(const Deployment& deployment) {
   head_->start(Time::ms(10));
 }
 
+const CompatibilityOracle& PollingSimulation::scheduling_oracle() {
+  if (!cfg_.cache_oracle) return *oracle_;
+  // A fresh wrapper per oracle generation: the head may still query the
+  // previous one until its next phase, so it retires rather than resets.
+  if (cached_oracle_) retired_caches_.push_back(std::move(cached_oracle_));
+  cached_oracle_ = std::make_unique<CachedOracle>(*oracle_);
+  MetricsRegistry& m = rt_.metrics();
+  cached_oracle_->bind_counters(&m.counter(metric::kOracleCacheHit),
+                                &m.counter(metric::kOracleCacheMiss));
+  return *cached_oracle_;
+}
+
 std::uint64_t PollingSimulation::sum_generated() const {
   std::uint64_t total = 0;
   for (const auto& s : sensors_) total += s->packets_generated();
@@ -246,7 +259,7 @@ void PollingSimulation::replan_after_death(NodeId declared) {
   oracle_ = std::make_unique<MeasuredOracle>(
       *truth_, transmissions_of_paths(repair.probe_paths),
       cfg_.oracle_order);
-  head_->set_oracle(*oracle_);
+  head_->set_oracle(scheduling_oracle());
 
   // The repaired cluster drains as one sector; re-home every surviving
   // member so it follows sector-0 wake/sleep control.

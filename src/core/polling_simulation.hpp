@@ -80,6 +80,9 @@ class PollingSimulation {
     return partition_;
   }
   const MeasuredOracle& oracle() const { return *oracle_; }
+  /// The memoizing wrapper the head schedules through; nullptr when
+  /// cfg.cache_oracle is off.
+  const CachedOracle* oracle_cache() const { return cached_oracle_.get(); }
   SimRuntime& runtime() { return rt_; }
   Simulator& simulator() { return rt_.sim(); }
   /// Protocol trace (enable categories before run() to collect entries).
@@ -91,6 +94,10 @@ class PollingSimulation {
 
  private:
   void setup(const Deployment& deployment);
+  /// The oracle the head schedules through: `oracle_` itself, or a fresh
+  /// CachedOracle wrapper over it when cfg.cache_oracle is on (counters
+  /// bound to the runtime registry).  Call again after replacing oracle_.
+  const CompatibilityOracle& scheduling_oracle();
   /// Fault-injector death handler: kill the agent, snapshot pre-fault
   /// delivery on the first death.
   void on_node_death(const NodeDeath& death);
@@ -121,6 +128,7 @@ class PollingSimulation {
   std::optional<SectorPartition> partition_;
   std::unique_ptr<ChannelOracle> truth_;
   std::unique_ptr<MeasuredOracle> oracle_;
+  std::unique_ptr<CachedOracle> cached_oracle_;
   std::unique_ptr<RotatingProvider> provider_;
   std::unique_ptr<HeadAgent> head_;
   std::vector<std::unique_ptr<SensorAgent>> sensors_;
@@ -129,8 +137,10 @@ class PollingSimulation {
   std::vector<std::int64_t> demand_;      // set-up routing demand
   std::vector<NodeId> declared_dead_;     // head's cumulative declarations
   /// Oracles replaced by repairs; kept alive because the head's current
-  /// phase may still hold a reference to the previous one.
+  /// phase may still hold a reference to the previous one.  Cache wrappers
+  /// retire alongside the oracles they decorate.
   std::vector<std::unique_ptr<MeasuredOracle>> retired_oracles_;
+  std::vector<std::unique_ptr<CachedOracle>> retired_caches_;
   std::uint64_t last_orphaned_ = 0;
   bool have_first_death_ = false;
   std::uint64_t death_gen_ = 0, death_del_ = 0;    // at first death

@@ -216,33 +216,45 @@ MinMaxLoadResult solve_min_max_load(const ClusterTopology& topo,
     if (demand[s] > 0 && topo.level(s) == ClusterTopology::kUnreachable)
       return result;  // infeasible
 
+  // The most recent feasible probe, kept so the winning δ's network (flow
+  // included) is decomposed directly instead of being rebuilt and
+  // re-solved after the search converges.
+  BuiltNetwork feasible_probe;
+  Cap feasible_delta = 0;
   auto flow_at = [&](Cap delta) {
     BuiltNetwork b = build(topo, demand, w, delta);
     const Cap f = max_flow(b.net, 0, 1, algo);
-    return std::pair<Cap, BuiltNetwork>(f, std::move(b));
+    if (f >= total) {
+      feasible_probe = std::move(b);
+      feasible_delta = delta;
+    }
+    return f;
   };
 
   // Exponential search for a feasible δ, then binary search the minimum.
   Cap hi = 1;
-  while (flow_at(hi).first < total) {
-    MHP_ENSURE(hi <= total * 2, "min-max-load search diverged");
+  while (flow_at(hi) < total) {
+    MHP_ENSURE(hi <= total * 2,
+               "min-max-load search diverged: delta=" + std::to_string(hi) +
+                   " infeasible with total demand " + std::to_string(total));
     hi *= 2;
   }
   Cap lo = hi / 2 + (hi == 1 ? 0 : 1);
   if (hi == 1) lo = 1;
   while (lo < hi) {
     const Cap mid = lo + (hi - lo) / 2;
-    if (flow_at(mid).first >= total)
+    if (flow_at(mid) >= total)
       hi = mid;
     else
       lo = mid + 1;
   }
 
-  auto [f, built] = flow_at(hi);
-  MHP_ENSURE(f == total, "final flow lost feasibility");
+  // The search only ever lowers hi to a probed feasible δ, so the last
+  // feasible probe is exactly the winner.
+  MHP_ENSURE(feasible_delta == hi, "final flow lost feasibility");
   result.feasible = true;
   result.max_load = hi;
-  result.paths = decompose(built.net, topo, demand);
+  result.paths = decompose(feasible_probe.net, topo, demand);
   result.load = loads_from_paths(result.paths, n);
   return result;
 }

@@ -160,7 +160,7 @@ MetricsSnapshot MetricsRegistry::snapshot(Time now) const {
     snap.histograms[name] = {h.count(),        h.mean(),
                              h.min(),          h.max(),
                              h.quantile(0.5),  h.quantile(0.95),
-                             h.quantile(0.99)};
+                             h.quantile(0.99), h.dropped()};
   return snap;
 }
 

@@ -16,6 +16,7 @@
 // every node's value of one base name back into an id→value map.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -73,10 +74,14 @@ class HistogramMetric {
 
   void observe(double x) {
     hist_.add(x);
-    acc_.add(x);
+    // NaN would poison the Welford moments; the histogram tallies it in
+    // dropped() and the accumulator never sees it.
+    if (!std::isnan(x)) acc_.add(x);
   }
 
   std::uint64_t count() const { return acc_.count(); }
+  /// NaN observations rejected (see Histogram::dropped).
+  std::uint64_t dropped() const { return hist_.dropped(); }
   double mean() const { return acc_.empty() ? 0.0 : acc_.mean(); }
   double min() const { return acc_.empty() ? 0.0 : acc_.min(); }
   double max() const { return acc_.empty() ? 0.0 : acc_.max(); }
@@ -117,6 +122,9 @@ struct MetricsSnapshot {
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    /// NaN observations rejected by the histogram (0 in healthy runs;
+    /// exporters only emit it when non-zero).
+    std::uint64_t dropped = 0;
   };
 
   Time at = Time::zero();

@@ -42,9 +42,18 @@ Deployment deploy_rings(std::size_t rings, std::size_t per_ring,
 /// Geometric disc connectivity: sensors within `sensor_range` of each other
 /// are linked; the head hears sensors within `uplink_range` (defaults to
 /// sensor_range — the head's *downlink* is assumed to cover the cluster
-/// regardless).
+/// regardless).  Neighbor construction uses a spatial hash grid (cell =
+/// sensor_range), O(n) expected for bounded-density deployments; the
+/// resulting graph is identical to the all-pairs scan, edge order included.
 ClusterTopology disc_topology(const Deployment& d, double sensor_range,
                               double uplink_range = 0.0);
+
+/// The O(n²) all-pairs reference implementation of disc_topology, kept as
+/// the oracle for the grid-vs-brute-force property tests and the
+/// perf_scaling bench's speedup baseline.
+ClusterTopology disc_topology_brute_force(const Deployment& d,
+                                          double sensor_range,
+                                          double uplink_range = 0.0);
 
 /// Generic extraction from an arbitrary reachability predicate
 /// `hears(from, to)` over node ids 0..n (n = head).  Sensor links are kept

@@ -46,15 +46,20 @@ Json to_json(const MetricsSnapshot& snap) {
                                                             Json(g.mean)));
 
   Json histograms = Json::object();
-  for (const auto& [name, h] : snap.histograms)
-    histograms.set(name, Json::object()
-                             .set("count", Json(h.count))
-                             .set("mean", Json(h.mean))
-                             .set("min", Json(h.min))
-                             .set("max", Json(h.max))
-                             .set("p50", Json(h.p50))
-                             .set("p95", Json(h.p95))
-                             .set("p99", Json(h.p99)));
+  for (const auto& [name, h] : snap.histograms) {
+    Json entry = Json::object()
+                     .set("count", Json(h.count))
+                     .set("mean", Json(h.mean))
+                     .set("min", Json(h.min))
+                     .set("max", Json(h.max))
+                     .set("p50", Json(h.p50))
+                     .set("p95", Json(h.p95))
+                     .set("p99", Json(h.p99));
+    // Only when samples were actually rejected, so healthy reports keep
+    // their exact pre-existing shape.
+    if (h.dropped > 0) entry.set("dropped", Json(h.dropped));
+    histograms.set(name, std::move(entry));
+  }
 
   return Json::object()
       .set("at_s", Json(snap.at.to_seconds()))

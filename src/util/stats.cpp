@@ -70,17 +70,27 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  // NaN has no bin (any comparison is false); count it as dropped rather
+  // than silently misfiling it.
+  if (std::isnan(x)) {
+    ++dropped_;
+    return;
+  }
+  // Clamp in floating point BEFORE the integer cast: casting a value
+  // outside ptrdiff_t's range (±inf, ±1e300, ...) is undefined behaviour.
+  // std::clamp handles ±inf fine, so out-of-range samples land on the
+  // edge bins as documented.
   const double f = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(f * static_cast<double>(bins()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(bins()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  const double nb = static_cast<double>(bins());
+  const double scaled = std::clamp(f * nb, 0.0, nb - 1.0);
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;
+  dropped_ = 0;
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -89,6 +99,7 @@ void Histogram::merge(const Histogram& other) {
               "merging histograms of different shape");
   for (std::size_t i = 0; i < bins(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  dropped_ += other.dropped_;
 }
 
 double Histogram::bin_lo(std::size_t i) const {
@@ -105,7 +116,13 @@ double Histogram::quantile(double q) const {
   double cum = 0.0;
   for (std::size_t i = 0; i < bins(); ++i) {
     cum += static_cast<double>(counts_[i]);
-    if (cum >= target) return 0.5 * (bin_lo(i) + bin_hi(i));
+    // Skip empty bins: with q == 0 the target is 0 and `cum >= target`
+    // holds at bin 0 even when it is empty — the quantile must sit in
+    // the first bin that actually holds mass.  (For q > 0 the extra
+    // condition never changes the answer: an empty bin leaves cum
+    // unchanged, so the threshold was already crossed earlier.)
+    if (cum >= target && counts_[i] > 0)
+      return 0.5 * (bin_lo(i) + bin_hi(i));
   }
   return 0.5 * (bin_lo(bins() - 1) + bin_hi(bins() - 1));
 }

@@ -39,8 +39,9 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so totals are preserved.
+/// Fixed-width histogram over [lo, hi); out-of-range samples (±inf
+/// included) clamp to the edge bins so totals are preserved.  NaN samples
+/// belong to no bin and are tallied in dropped() instead.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -49,6 +50,8 @@ class Histogram {
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// NaN samples rejected by add() (they belong to no bin).
+  std::size_t dropped() const { return dropped_; }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   double bin_lo(std::size_t i) const;
@@ -69,6 +72,7 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace mhp

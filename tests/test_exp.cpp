@@ -2,11 +2,14 @@
 // count (per-point seeds, ordered results).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
 
+#include "core/routing.hpp"
 #include "exp/sweep.hpp"
+#include "net/deployment.hpp"
 #include "util/rng.hpp"
 
 namespace mhp {
@@ -83,6 +86,37 @@ TEST(Sweep, EmptyPoints) {
   const auto results = mhp::exp::sweep<int, int>(
       {}, std::function<int(const int&)>([](const int&) { return 0; }));
   EXPECT_TRUE(results.empty());
+}
+
+TEST(Sweep, PerfScalingWorkloadIsDeterministicAcrossWorkers) {
+  // The perf_scaling bench's per-point pipeline (fixed-seed deployment →
+  // grid topology → min-max-load routing) must digest identically with
+  // one worker and eight: grid construction and the flow solver are pure
+  // functions of the point, and each point reseeds its own Rng.
+  const std::vector<std::size_t> points{50, 200};
+  auto fn = std::function<std::string(const std::size_t&)>(
+      [](const std::size_t& n) {
+        Rng rng(0x9e1f + n);
+        const double side = std::sqrt(1000.0 * static_cast<double>(n));
+        const Deployment dep =
+            deploy_connected_uniform_square(n, side, 60.0, rng);
+        const ClusterTopology topo = disc_topology(dep, 60.0);
+        const std::vector<std::int64_t> demand(n, 1);
+        const RelayPlan plan = RelayPlan::balanced(topo, demand);
+        std::string digest = std::to_string(topo.sensor_links().edge_count());
+        digest += '|';
+        digest += std::to_string(plan.max_load());
+        for (NodeId s = 0; s < n; ++s)
+          for (const NodeId hop : plan.path_for_cycle(s, 0).hops) {
+            digest += ',';
+            digest += std::to_string(hop);
+          }
+        return digest;
+      });
+  const auto serial =
+      mhp::exp::sweep<std::size_t, std::string>(points, fn, 1);
+  const auto wide = mhp::exp::sweep<std::size_t, std::string>(points, fn, 8);
+  EXPECT_EQ(serial, wide);
 }
 
 TEST(Sweep, ExceptionPropagates) {

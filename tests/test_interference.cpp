@@ -4,6 +4,7 @@
 #include "radio/channel.hpp"
 #include "sim/simulator.hpp"
 #include "util/assertx.hpp"
+#include "util/rng.hpp"
 
 namespace mhp {
 namespace {
@@ -180,6 +181,88 @@ TEST(Oracle, DuplicateEntriesCollapseToTheSet) {
   EXPECT_TRUE(oracle.compatible(std::vector<Tx>{a, b, a}));  // = {a,b}
   // Same sender toward two receivers is still structurally invalid.
   EXPECT_FALSE(oracle.compatible(std::vector<Tx>{a, Tx{0, 2}}));
+}
+
+// ---------- DiscModelOracle ----------
+
+TEST(DiscModelOracle, CollisionIffReceiverInsideInterferenceRange) {
+  // Four nodes on a line at 0, 10, 200, 210.  Tx 0→1 and 2→3 are far
+  // apart (compatible); 0→1 and 3→2 put receiver 2 at 190 m from sender
+  // 0 — still fine — but with range 250 everything collides.
+  const std::vector<Vec2> pos = {{0, 0}, {10, 0}, {200, 0}, {210, 0}};
+  const DiscModelOracle far(pos, 60.0, 3);
+  EXPECT_TRUE(far.compatible(std::vector<Tx>{{0, 1}, {2, 3}}));
+  const DiscModelOracle wide(pos, 250.0, 3);
+  EXPECT_FALSE(wide.compatible(std::vector<Tx>{{0, 1}, {2, 3}}));
+}
+
+// ---------- CachedOracle ----------
+
+TEST(CachedOracle, VerdictsMatchInnerOracleOnEveryQuery) {
+  Rng rng(11);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 12; ++i)
+    pos.push_back({rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+  const DiscModelOracle truth(pos, 80.0, 3);
+  const CachedOracle cached(truth);
+  EXPECT_EQ(cached.order(), truth.order());
+  // Two passes over random groups: the second is answered from the memo
+  // and must agree verbatim, including structurally invalid and
+  // oversized groups.
+  std::vector<TxGroup> groups;
+  for (int g = 0; g < 60; ++g) {
+    TxGroup group;
+    const int size = static_cast<int>(rng.uniform(0.0, 4.99));
+    for (int t = 0; t < size; ++t)
+      group.push_back(Tx{static_cast<NodeId>(rng.uniform(0.0, 11.99)),
+                         static_cast<NodeId>(rng.uniform(0.0, 11.99))});
+    groups.push_back(std::move(group));
+  }
+  for (int pass = 0; pass < 2; ++pass)
+    for (const TxGroup& g : groups)
+      EXPECT_EQ(cached.compatible(g), truth.compatible(g));
+}
+
+TEST(CachedOracle, CountsHitsAndMisses) {
+  ExplicitOracle inner(2);
+  const Tx a{0, 1}, b{2, 3};
+  inner.allow_pair(a, b);
+  const CachedOracle cached(inner);
+  EXPECT_TRUE(cached.compatible(std::vector<Tx>{a, b}));
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 0u);
+  // Same set in a different listed order is the same normalized key.
+  EXPECT_TRUE(cached.compatible(std::vector<Tx>{b, a}));
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.size(), 1u);
+}
+
+TEST(CachedOracle, TrivialGroupsBypassTheMemo) {
+  ExplicitOracle inner(2);
+  const CachedOracle cached(inner);
+  EXPECT_TRUE(cached.compatible(std::vector<Tx>{}));          // empty
+  EXPECT_TRUE(cached.compatible(std::vector<Tx>{{0, 1}}));    // singleton
+  EXPECT_FALSE(cached.compatible(std::vector<Tx>{{2, 2}}));   // self loop
+  EXPECT_FALSE(cached.compatible(                             // > order
+      std::vector<Tx>{{0, 1}, {2, 3}, {4, 5}}));
+  EXPECT_EQ(cached.size(), 0u);
+  EXPECT_EQ(cached.hits() + cached.misses(), 0u);
+}
+
+TEST(CachedOracle, BindCountersTalliesIntoRegistry) {
+  MetricsRegistry m;
+  ExplicitOracle inner(2);
+  const Tx a{0, 1}, b{2, 3};
+  inner.allow_pair(a, b);
+  CachedOracle cached(inner);
+  cached.bind_counters(&m.counter("oracle.cache_hit"),
+                       &m.counter("oracle.cache_miss"));
+  cached.compatible(std::vector<Tx>{a, b});
+  cached.compatible(std::vector<Tx>{a, b});
+  cached.compatible(std::vector<Tx>{a, b});
+  EXPECT_EQ(m.counter("oracle.cache_miss").value(), 1u);
+  EXPECT_EQ(m.counter("oracle.cache_hit").value(), 2u);
 }
 
 }  // namespace

@@ -150,6 +150,86 @@ TEST(ConnectedDeployment, AlwaysFullyConnected) {
   }
 }
 
+// ---------- Grid vs brute-force topology ----------
+
+// The spatial-grid path must produce a byte-identical ClusterTopology to
+// the all-pairs scan: same neighbor lists in the same order (downstream
+// tie-breaks iterate them), same head links, same levels.
+void expect_identical_topology(const Deployment& d, double range) {
+  const ClusterTopology grid = disc_topology(d, range);
+  const ClusterTopology brute = disc_topology_brute_force(d, range);
+  ASSERT_EQ(grid.sensor_links().size(), brute.sensor_links().size());
+  for (NodeId v = 0; v < d.num_sensors(); ++v)
+    EXPECT_EQ(grid.sensor_links().neighbors(v),
+              brute.sensor_links().neighbors(v))
+        << "neighbor list of node " << v;
+  for (NodeId s = 0; s < d.num_sensors(); ++s) {
+    EXPECT_EQ(grid.head_hears(s), brute.head_hears(s)) << "head link " << s;
+    EXPECT_EQ(grid.level(s), brute.level(s)) << "level of " << s;
+  }
+}
+
+TEST(DiscTopologyGrid, MatchesBruteForceOnRandomDeployments) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 5 + static_cast<std::size_t>(trial) * 11;
+    const Deployment d =
+        deploy_uniform_square(n, 120.0 + 15.0 * trial, rng);
+    expect_identical_topology(d, 60.0);
+  }
+}
+
+TEST(DiscTopologyGrid, CoLocatedSensorsFormACompleteGraph) {
+  Deployment d;
+  for (int i = 0; i < 20; ++i) d.positions.push_back({5.0, 5.0});
+  d.positions.push_back({0.0, 0.0});  // head
+  expect_identical_topology(d, 60.0);
+  const ClusterTopology topo = disc_topology(d, 60.0);
+  EXPECT_EQ(topo.sensor_links().edge_count(), 20u * 19u / 2u);
+}
+
+TEST(DiscTopologyGrid, PairsExactlyAtSensorRangeAreLinked) {
+  // Representable exact-boundary distances: collinear 60 and the 36-48-60
+  // right triangle.  The grid's fast path must defer to the same
+  // distance() verdict the brute-force scan uses.
+  Deployment d;
+  d.positions = {{0, 0}, {60, 0}, {120, 0}, {36, 48}, {0, 0}};
+  expect_identical_topology(d, 60.0);
+  const ClusterTopology topo = disc_topology(d, 60.0);
+  EXPECT_TRUE(topo.sensors_linked(0, 1));   // exactly 60 m
+  EXPECT_TRUE(topo.sensors_linked(0, 3));   // hypot(36, 48) = 60 m
+  EXPECT_FALSE(topo.sensors_linked(0, 2));  // 120 m
+  EXPECT_TRUE(topo.sensors_linked(1, 3));   // hypot(24, 48) < 60
+}
+
+TEST(DiscTopologyGrid, EmptyAndSingletonDeployments) {
+  Deployment none;
+  none.positions = {{0.0, 0.0}};  // head only
+  expect_identical_topology(none, 60.0);
+  EXPECT_EQ(disc_topology(none, 60.0).num_sensors(), 0u);
+
+  Deployment one;
+  one.positions = {{10.0, 10.0}, {0.0, 0.0}};
+  expect_identical_topology(one, 60.0);
+  EXPECT_EQ(disc_topology(one, 60.0).sensor_links().edge_count(), 0u);
+}
+
+TEST(DiscTopologyGrid, SparseSpreadLayoutUsesCappedCells) {
+  // Sensor pairs strewn across ~100 km: the natural cell count would be
+  // O(area), so the grid caps cells by enlarging them — which must not
+  // change any verdict.
+  Deployment d;
+  for (int i = 0; i < 15; ++i) {
+    const double x = static_cast<double>(i) * 7000.0;
+    d.positions.push_back({x, 0.0});
+    d.positions.push_back({x + 50.0, 10.0});
+  }
+  d.positions.push_back({0.0, 0.0});  // head
+  expect_identical_topology(d, 60.0);
+  // Each strewn pair is linked; nothing links across pairs.
+  EXPECT_EQ(disc_topology(d, 60.0).sensor_links().edge_count(), 15u);
+}
+
 // ---------- Frames ----------
 
 TEST(Frame, DescribeMentionsKindAndEndpoints) {

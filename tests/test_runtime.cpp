@@ -14,6 +14,7 @@
 #include "core/polling_simulation.hpp"
 #include "metrics/registry.hpp"
 #include "net/deployment.hpp"
+#include "obs/report_json.hpp"
 #include "sim/runtime.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
@@ -244,6 +245,71 @@ TEST(RuntimeGolden, SmacMetricsSnapshotMatchesReport) {
             r.control_frames);  // control + data + sync
   EXPECT_DOUBLE_EQ(r.metrics.gauge_last(metric::kMeanActiveFraction),
                    r.mean_active_fraction);
+}
+
+// ---------- Oracle cache transparency ----------
+
+// Strip the fields that are *allowed* to differ between a cache-on and a
+// cache-off run: the cache's own counters and the wall-clock figures.
+// Everything else must serialize byte-for-byte identically.
+obs::Json comparable_report_json(SimulationReport r) {
+  r.metrics.counters.erase(metric::kOracleCacheHit);
+  r.metrics.counters.erase(metric::kOracleCacheMiss);
+  r.wall_seconds = 0.0;
+  r.events_per_sec = 0.0;
+  return obs::to_json(r);
+}
+
+obs::Json comparable_report_json(MultiClusterReport r) {
+  r.totals.metrics.counters.erase(metric::kOracleCacheHit);
+  r.totals.metrics.counters.erase(metric::kOracleCacheMiss);
+  r.totals.wall_seconds = 0.0;
+  r.totals.events_per_sec = 0.0;
+  return obs::to_json(r);
+}
+
+template <typename J>
+std::string dump(const J& json) {
+  std::ostringstream os;
+  json.write(os, 2);
+  return os.str();
+}
+
+TEST(RuntimeGolden, OracleCacheKeepsPollingReportByteIdentical) {
+  ProtocolConfig on;  // cache_oracle defaults to true
+  ProtocolConfig off;
+  off.cache_oracle = false;
+  PollingSimulation sim_on(golden_polling_deployment(), on, 20.0);
+  PollingSimulation sim_off(golden_polling_deployment(), off, 20.0);
+  const SimulationReport r_on = sim_on.run(Time::sec(40), Time::sec(10));
+  const SimulationReport r_off = sim_off.run(Time::sec(40), Time::sec(10));
+  // The cache actually engaged...
+  EXPECT_GT(r_on.metrics.counter(metric::kOracleCacheHit) +
+                r_on.metrics.counter(metric::kOracleCacheMiss),
+            0u);
+  EXPECT_EQ(r_off.metrics.counter(metric::kOracleCacheHit), 0u);
+  EXPECT_EQ(r_off.metrics.counter(metric::kOracleCacheMiss), 0u);
+  // ...without perturbing a single other byte of the report.
+  EXPECT_EQ(dump(comparable_report_json(r_on)),
+            dump(comparable_report_json(r_off)));
+}
+
+TEST(RuntimeGolden, OracleCacheKeepsMultiClusterReportByteIdentical) {
+  ProtocolConfig on;
+  on.seed = 3;
+  ProtocolConfig off = on;
+  off.cache_oracle = false;
+  MultiClusterSimulation sim_on(golden_two_clusters(), on,
+                                InterClusterMode::kColored, 30.0);
+  MultiClusterSimulation sim_off(golden_two_clusters(), off,
+                                 InterClusterMode::kColored, 30.0);
+  const MultiClusterReport r_on = sim_on.run(Time::sec(40), Time::sec(10));
+  const MultiClusterReport r_off = sim_off.run(Time::sec(40), Time::sec(10));
+  EXPECT_GT(r_on.totals.metrics.counter(metric::kOracleCacheHit) +
+                r_on.totals.metrics.counter(metric::kOracleCacheMiss),
+            0u);
+  EXPECT_EQ(dump(comparable_report_json(r_on)),
+            dump(comparable_report_json(r_off)));
 }
 
 // ---------- Runtime options through the facades ----------

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -193,6 +194,56 @@ TEST(Histogram, QuantileApproximation) {
 TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 5), ContractViolation);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, ExtremeQuantilesLandOnOccupiedBins) {
+  // All mass in the middle bin: q=0 must not report the empty first
+  // bin's midpoint, and q=1 must not report the empty last bin's.
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.5);
+  h.add(5.5);
+  h.add(5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+}
+
+TEST(Histogram, NanSamplesAreDroppedNotBinned) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped(), 1u);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 1u);
+}
+
+TEST(Histogram, InfiniteAndHugeSamplesClampToEdgeBins) {
+  // Casting these to an index before clamping would be UB; they must
+  // land in the edge bins instead.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.dropped(), 0u);
+}
+
+TEST(Histogram, ClearAndMergeCarryDroppedCount) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(0.5);
+  a.merge(b);
+  EXPECT_EQ(a.dropped(), 2u);
+  EXPECT_EQ(a.total(), 1u);
+  a.clear();
+  EXPECT_EQ(a.dropped(), 0u);
+  EXPECT_EQ(a.total(), 0u);
 }
 
 // ---------- Table ----------
