@@ -12,6 +12,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
@@ -31,7 +32,8 @@ std::size_t ack_phase_slots(const AckPlan& plan) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: ack-collection cover vs per-packet acks").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — ack collection: set-cover paths vs poll-everyone (§V-F)\n\n");

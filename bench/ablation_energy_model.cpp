@@ -11,6 +11,7 @@
 #include "exp/fig_common.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
@@ -35,7 +36,8 @@ double max_power_under(const PollingSimulation& sim, std::size_t n,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: energy-model parameter sensitivity").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — energy-model sensitivity of the sectoring gain\n"

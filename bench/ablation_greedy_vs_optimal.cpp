@@ -15,6 +15,7 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
@@ -95,7 +96,8 @@ void run_tsrf(Row& row, double edge_prob, std::uint64_t salt) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: greedy vs optimal schedule length").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — greedy (Table 1) vs exact branch-and-bound schedules\n"

@@ -12,6 +12,7 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
@@ -35,7 +36,8 @@ std::vector<ClusterSpec> make_field(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: inter-cluster coordination modes").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — inter-cluster interference (§V-G): 2x2 adjacent "

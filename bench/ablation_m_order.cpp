@@ -14,10 +14,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: compatibility order M trade-off").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — compatibility order M: schedule length vs probing cost\n"

@@ -13,10 +13,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: schedule sensitivity to polling order").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — request-order sensitivity of the Table-1 greedy\n"

@@ -11,10 +11,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: balanced max-flow vs shortest-path routing").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — load-balanced (max-flow) routing vs shortest paths\n"

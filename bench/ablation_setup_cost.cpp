@@ -13,10 +13,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: set-up phase cost accounting").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — set-up slot budget, whole cluster vs sectors (M = 3)\n"

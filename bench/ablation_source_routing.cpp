@@ -15,10 +15,12 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 using namespace mhp;
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("ablation: source routing vs hop-by-hop").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   std::printf(
       "Ablation — source routing vs one-hop tables (§V-C)\n"

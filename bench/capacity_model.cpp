@@ -12,6 +12,7 @@
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
 #include "exp/bench_json.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -43,7 +44,8 @@ Result run_point(const Point& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("capacity model vs measured drain throughput").parse(argc, argv);
   mhp::obs::RunRecorder recorder;
   using namespace mhp;
 

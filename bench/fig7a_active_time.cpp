@@ -13,6 +13,7 @@
 #include "exp/csv_out.hpp"
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -42,7 +43,8 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("fig 7(a): mean sensor active time vs cluster size").parse(argc, argv);
   using namespace mhp;
   mhp::obs::RunRecorder recorder;
 

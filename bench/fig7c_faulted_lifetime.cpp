@@ -10,7 +10,6 @@
 //
 // `--smoke` runs a single small point (CI sanity check).
 #include <cstdio>
-#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -19,6 +18,7 @@
 #include "exp/fig_common.hpp"
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -87,7 +87,10 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
 
 int main(int argc, char** argv) {
   using namespace mhp;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  mhp::exp::Flags flags("fig 7(c) companion: relay death with head repair");
+  flags.flag("--smoke", "single point for CI");
+  flags.parse(argc, argv);
+  const bool smoke = flags.has("--smoke");
   mhp::obs::RunRecorder recorder;
 
   std::vector<Point> points;

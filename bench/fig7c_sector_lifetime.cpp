@@ -15,6 +15,7 @@
 #include "exp/sweep.hpp"
 #include "metrics/lifetime.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -63,7 +64,8 @@ Result run_point(const Point& p, const mhp::RuntimeOptions& rt_opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("fig 7(c): sectoring effect on cluster lifetime").parse(argc, argv);
   using namespace mhp;
   mhp::obs::RunRecorder recorder;
 

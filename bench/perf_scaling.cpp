@@ -15,7 +15,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -31,6 +30,7 @@
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -147,13 +147,12 @@ double baseline_floor(const std::string& path) {
 
 int main(int argc, char** argv) {
   using namespace mhp;
-  bool smoke = false;
-  std::string baseline_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
-      baseline_path = argv[++i];
-  }
+  mhp::exp::Flags flags("hot-path scaling bench (topology, routing, polling)");
+  flags.flag("--smoke", "reduced point set for CI")
+      .option("--baseline", "PATH", "committed BENCH_perf.json to gate against");
+  flags.parse(argc, argv);
+  const bool smoke = flags.has("--smoke");
+  const std::string baseline_path = flags.value("--baseline");
   // Parse the baseline up front: this run overwrites BENCH_perf.json in
   // the working directory, and CI points --baseline at the committed copy.
   double floor = -1.0;

@@ -12,8 +12,10 @@
 #include "net/deployment.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("example: environment-monitoring cluster walkthrough").parse(argc, argv);
   using namespace mhp;
 
   // 40 sensors over a 200 m field; readings at 10 B/s (one 80-byte packet

@@ -12,6 +12,7 @@
 #include "net/deployment.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
 namespace {
 
@@ -28,7 +29,8 @@ struct Result {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("example: plan battery lifetime for a deployment").parse(argc, argv);
   using namespace mhp;
 
   constexpr double kRate = 8.0;           // one packet every 10 s

@@ -11,8 +11,10 @@
 #include "net/deployment.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "exp/flags.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("example: multi-cluster coordination walkthrough").parse(argc, argv);
   using namespace mhp;
 
   // 3×3 grid of cluster heads, 250 m apart; each head manages a 200 m

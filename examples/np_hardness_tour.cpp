@@ -8,8 +8,10 @@
 
 #include "core/optimal_scheduler.hpp"
 #include "core/reductions.hpp"
+#include "exp/flags.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  mhp::exp::Flags("example: NP-hardness reductions tour").parse(argc, argv);
   using namespace mhp;
 
   // --- Lemma 1: Hamiltonian Path via TSRF polling --------------------

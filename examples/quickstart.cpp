@@ -5,17 +5,20 @@
 // Pass --json to print the full structured report (obs JSON layer)
 // instead of the human-readable summary — pipe it into jq or a plotter.
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 
 #include "core/polling_simulation.hpp"
 #include "net/deployment.hpp"
 #include "obs/report_json.hpp"
 #include "util/rng.hpp"
+#include "exp/flags.hpp"
 
 int main(int argc, char** argv) {
   using namespace mhp;
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  mhp::exp::Flags flags("30-sensor polling quickstart");
+  flags.flag("--json", "print the full structured report instead");
+  flags.parse(argc, argv);
+  const bool json = flags.has("--json");
 
   // 30 sensors uniform in a 200 m square, head at the centre, 60 m radio.
   Rng rng(42);

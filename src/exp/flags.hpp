@@ -1,0 +1,174 @@
+// Tiny shared command-line parsing for the bench/example/tool mains.
+//
+// Before this helper every binary hand-rolled its strcmp loop and
+// silently ignored anything it did not recognise (`--smok` ran the full
+// sweep instead of smoke).  Flags is deliberately strict: an unknown
+// flag, a missing value or an unexpected positional prints usage on
+// stderr and exits 2; `--help` prints the same usage on stdout and
+// exits 0.  Mains declare what they accept and read the results back —
+// no globals, no registration magic.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mhp::exp {
+
+class Flags {
+ public:
+  /// `synopsis` is the one-line description printed at the top of usage.
+  explicit Flags(std::string synopsis) : synopsis_(std::move(synopsis)) {}
+
+  /// Declare a boolean flag (present or not), e.g. "--smoke".
+  Flags& flag(std::string name, std::string help) {
+    specs_.push_back({std::move(name), "", std::move(help), false});
+    return *this;
+  }
+
+  /// Declare a valued flag, e.g. "--baseline PATH".  Accepts both
+  /// `--name value` and `--name=value`.
+  Flags& option(std::string name, std::string value_name, std::string help) {
+    specs_.push_back(
+        {std::move(name), std::move(value_name), std::move(help), true});
+    return *this;
+  }
+
+  /// Accept between `min_count` and `max_count` positional arguments
+  /// (default: none).  `name` appears in the usage line.
+  Flags& positional(std::string name, std::size_t min_count,
+                    std::size_t max_count) {
+    positional_name_ = std::move(name);
+    positional_min_ = min_count;
+    positional_max_ = max_count;
+    return *this;
+  }
+
+  /// Parse argv.  Exits the process on --help (0) or any error (2).
+  void parse(int argc, char** argv) {
+    program_ = argc > 0 ? basename_of(argv[0]) : "program";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        usage(stdout);
+        std::exit(0);
+      }
+      if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+        const std::size_t eq = arg.find('=');
+        const std::string name(eq == std::string_view::npos
+                                   ? arg
+                                   : arg.substr(0, eq));
+        const Spec* spec = find_spec(name);
+        if (spec == nullptr) {
+          fail("unknown flag '" + std::string(arg) + "'");
+        }
+        if (!spec->takes_value) {
+          if (eq != std::string_view::npos)
+            fail("flag '" + name + "' takes no value");
+          set_value(name, "");
+          continue;
+        }
+        if (eq != std::string_view::npos) {
+          set_value(name, std::string(arg.substr(eq + 1)));
+        } else if (i + 1 < argc) {
+          set_value(name, argv[++i]);
+        } else {
+          fail("flag '" + name + "' expects a value");
+        }
+        continue;
+      }
+      args_.push_back(std::string(arg));
+    }
+    if (args_.size() < positional_min_)
+      fail("expected at least " + std::to_string(positional_min_) + " " +
+           positional_name_ + " argument(s)");
+    if (args_.size() > positional_max_)
+      fail(positional_max_ == 0
+               ? "unexpected argument '" + args_.front() + "'"
+               : "too many " + positional_name_ + " arguments");
+  }
+
+  bool has(const std::string& name) const {
+    for (const auto& [k, v] : values_)
+      if (k == name) return true;
+    return false;
+  }
+
+  /// The value of a valued flag, or `fallback` when it was not given.
+  std::string value(const std::string& name,
+                    std::string fallback = {}) const {
+    for (const auto& [k, v] : values_)
+      if (k == name) return v;
+    return fallback;
+  }
+
+  /// Positional arguments, in order.
+  const std::vector<std::string>& args() const { return args_; }
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string value_name;
+    std::string help;
+    bool takes_value;
+  };
+
+  static std::string basename_of(std::string_view path) {
+    const std::size_t slash = path.find_last_of('/');
+    return std::string(slash == std::string_view::npos
+                           ? path
+                           : path.substr(slash + 1));
+  }
+
+  const Spec* find_spec(const std::string& name) const {
+    for (const Spec& s : specs_)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  void set_value(std::string name, std::string value) {
+    values_.emplace_back(std::move(name), std::move(value));
+  }
+
+  void usage(std::FILE* to) const {
+    std::fprintf(to, "%s — %s\n\nusage: %s", program_.c_str(),
+                 synopsis_.c_str(), program_.c_str());
+    for (const Spec& s : specs_) {
+      if (s.takes_value)
+        std::fprintf(to, " [%s %s]", s.name.c_str(), s.value_name.c_str());
+      else
+        std::fprintf(to, " [%s]", s.name.c_str());
+    }
+    if (positional_max_ > 0)
+      std::fprintf(to, " <%s>%s", positional_name_.c_str(),
+                   positional_max_ > 1 ? "..." : "");
+    std::fprintf(to, "\n");
+    if (!specs_.empty()) {
+      std::fprintf(to, "\nflags:\n");
+      for (const Spec& s : specs_) {
+        const std::string left =
+            s.takes_value ? s.name + " " + s.value_name : s.name;
+        std::fprintf(to, "  %-24s %s\n", left.c_str(), s.help.c_str());
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    std::fprintf(stderr, "%s: %s\n\n", program_.c_str(), why.c_str());
+    usage(stderr);
+    std::exit(2);
+  }
+
+  std::string synopsis_;
+  std::string program_ = "program";
+  std::vector<Spec> specs_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::string> args_;
+  std::string positional_name_ = "arg";
+  std::size_t positional_min_ = 0;
+  std::size_t positional_max_ = 0;
+};
+
+}  // namespace mhp::exp

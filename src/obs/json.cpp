@@ -97,6 +97,10 @@ const Json* Json::find(const std::string& key) const {
   return nullptr;
 }
 
+Json* Json::find(const std::string& key) {
+  return const_cast<Json*>(static_cast<const Json*>(this)->find(key));
+}
+
 const Json& Json::at(const std::string& key) const {
   const Json* found = find(key);
   if (found == nullptr)
@@ -258,8 +262,22 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) {
+    // line:column (1-based) so editors can jump straight to the fault;
+    // the byte offset is kept for tooling that indexes the raw text.
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
     throw JsonParseError("JSON parse error at offset " +
-                         std::to_string(pos_) + ": " + what);
+                             std::to_string(pos_) + " (line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column) + "): " + what,
+                         pos_, line, column);
   }
 
   void skip_ws() {

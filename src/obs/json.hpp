@@ -19,7 +19,23 @@ namespace mhp::obs {
 
 class JsonParseError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  /// `offset` is the byte position the parser stopped at; `line`/`column`
+  /// are 1-based and derived from it, so editors can jump to the fault.
+  explicit JsonParseError(const std::string& what, std::size_t offset = 0,
+                          std::size_t line = 1, std::size_t column = 1)
+      : std::runtime_error(what),
+        offset_(offset),
+        line_(line),
+        column_(column) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t offset_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
 };
 
 class Json {
@@ -80,6 +96,8 @@ class Json {
   Json& set(std::string key, Json value);
   /// nullptr when absent (or not an object).
   const Json* find(const std::string& key) const;
+  /// Mutable lookup for in-place patching (campaign sweep overrides).
+  Json* find(const std::string& key);
   /// Throws std::out_of_range when absent.
   const Json& at(const std::string& key) const;
   const std::vector<std::pair<std::string, Json>>& items() const;

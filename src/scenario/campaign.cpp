@@ -1,0 +1,370 @@
+#include "scenario/campaign.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "exp/sweep.hpp"
+#include "obs/report_json.hpp"
+#include "scenario/json_cursor.hpp"
+#include "scenario/run_scenario.hpp"
+
+namespace mhp::scenario {
+
+namespace {
+
+using obs::Json;
+
+/// Split "protocol.oracle_order" into segments.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::string current;
+  for (const char c : path) {
+    if (c == '.') {
+      segments.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  segments.push_back(current);
+  return segments;
+}
+
+}  // namespace
+
+void set_by_path(Json& doc, const std::string& path, Json value) {
+  Json* node = &doc;
+  for (const std::string& segment : split_path(path)) {
+    Json* next = node->find(segment);
+    if (next == nullptr)
+      throw ScenarioError(
+          "campaign.sweep: path \"" + path +
+          "\" not found in the base scenario (no key \"" + segment +
+          "\" — sweeps can only override fields the schema defines)");
+    node = next;
+  }
+  *node = std::move(value);
+}
+
+Campaign parse_campaign(
+    const Json& doc,
+    const std::function<std::string(const std::string&)>& load_file) {
+  ObjectReader r(doc, "campaign");
+  Campaign out;
+  r.read_string("name", out.name);
+
+  const Json* base = r.take("base");
+  if (base == nullptr)
+    throw ScenarioError(
+        "campaign.base: missing (inline scenario object or file path)");
+  Json base_doc;
+  if (base->is_object()) {
+    base_doc = *base;
+  } else if (base->is_string()) {
+    if (!load_file)
+      throw ScenarioError(
+          "campaign.base: file path given but no loader available");
+    base_doc = obs::parse_json(load_file(base->as_string()));
+  } else {
+    r.error("base", std::string("expected object or string, got ") +
+                        json_type_name(base->type()));
+  }
+
+  if (const Json* sweep = r.take("sweep")) {
+    if (!sweep->is_object())
+      r.error("sweep", std::string("expected object, got ") +
+                           json_type_name(sweep->type()));
+    for (const auto& [path, values] : sweep->items()) {
+      if (!values.is_array())
+        throw ScenarioError("campaign.sweep." + path +
+                            ": expected array of values, got " +
+                            json_type_name(values.type()));
+      if (values.size() == 0)
+        throw ScenarioError("campaign.sweep." + path +
+                            ": value list must not be empty");
+      std::vector<Json> list;
+      for (std::size_t i = 0; i < values.size(); ++i)
+        list.push_back(values.at(i));
+      out.sweep.emplace_back(path, std::move(list));
+    }
+  }
+  r.finish();
+
+  // Canonicalize: parse + full re-dump, so every schema field exists in
+  // the document and sweep paths resolve against the complete form.
+  out.base = scenario_to_json(parse_scenario(base_doc));
+
+  // Fail fast on misspelled sweep paths — before any point runs.
+  for (const auto& [path, values] : out.sweep) {
+    Json probe = out.base;
+    set_by_path(probe, path, values.front());
+  }
+  return out;
+}
+
+std::vector<CampaignPoint> expand_campaign(const Campaign& campaign) {
+  std::vector<CampaignPoint> points;
+  std::size_t total = 1;
+  for (const auto& [path, values] : campaign.sweep) total *= values.size();
+  points.reserve(total);
+
+  // Mixed-radix counter over the value lists, last key fastest.  Point
+  // documents are *not* validated here: a sweep value that fails
+  // parse_scenario is a per-point failure the campaign runner records,
+  // not a reason to abort the whole batch.
+  std::vector<std::size_t> index(campaign.sweep.size(), 0);
+  for (std::size_t p = 0; p < total; ++p) {
+    CampaignPoint point;
+    point.doc = campaign.base;
+    for (std::size_t k = 0; k < campaign.sweep.size(); ++k) {
+      const auto& [path, values] = campaign.sweep[k];
+      const Json& value = values[index[k]];
+      set_by_path(point.doc, path, value);
+      if (!point.key.empty()) point.key += ',';
+      point.key += path + "=" + value.dump();
+    }
+    if (campaign.sweep.empty()) point.key = "base";
+    points.push_back(std::move(point));
+    for (std::size_t k = campaign.sweep.size(); k-- > 0;) {
+      if (++index[k] < campaign.sweep[k].second.size()) break;
+      index[k] = 0;
+    }
+  }
+  return points;
+}
+
+namespace {
+
+/// Last-wins key→value map from a JSONL file.  Lines that fail to parse
+/// (e.g. the torn tail of a killed run) are skipped, not fatal — the
+/// affected point simply reruns.
+std::vector<std::pair<std::string, Json>> read_jsonl(
+    const std::string& path) {
+  std::vector<std::pair<std::string, Json>> entries;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      Json doc = obs::parse_json(line);
+      const Json* key = doc.find("key");
+      if (key == nullptr || !key->is_string()) continue;
+      const std::string k = key->as_string();
+      bool replaced = false;
+      for (auto& [existing, value] : entries) {
+        if (existing == k) {
+          value = std::move(doc);
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) entries.emplace_back(k, std::move(doc));
+    } catch (const obs::JsonParseError&) {
+      continue;
+    }
+  }
+  return entries;
+}
+
+struct Agg {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double v) {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+
+  Json to_json() const {
+    return Json::object()
+        .set("count", Json(count))
+        .set("mean", Json(count > 0 ? sum / static_cast<double>(count) : 0.0))
+        .set("min", Json(count > 0 ? min : 0.0))
+        .set("max", Json(count > 0 ? max : 0.0));
+  }
+};
+
+/// Roll delivery / throughput / energy / lifetime-proxy aggregates up
+/// from every ok result on record (this run and previous ones).
+Json build_summary(const Campaign& campaign, const std::string& out_dir,
+                   std::size_t total) {
+  const auto results = read_jsonl(out_dir + "/results.jsonl");
+  const auto manifest = read_jsonl(out_dir + "/manifest.jsonl");
+
+  std::size_t failed = 0;
+  for (const auto& [key, entry] : manifest) {
+    const Json* status = entry.find("status");
+    if (status != nullptr && status->is_string() &&
+        status->as_string() != "ok")
+      ++failed;
+  }
+
+  Agg delivery, throughput, energy, max_power;
+  for (const auto& [key, entry] : results) {
+    const Json* report = entry.find("report");
+    if (report == nullptr) continue;
+    const Json* kind = report->find("kind");
+    const Json* body = report->find("report");
+    if (kind == nullptr || body == nullptr) continue;
+    const bool multi = kind->as_string() == "multi_cluster";
+
+    const Json* d = body->find(multi ? "aggregate_delivery"
+                                     : "delivery_ratio");
+    if (d != nullptr && d->is_number()) delivery.add(d->as_double());
+    const Json* t = body->find(multi ? "aggregate_throughput_bps"
+                                     : "throughput_bps");
+    if (t != nullptr && t->is_number()) throughput.add(t->as_double());
+
+    // Total sensor energy: sum of the per-node node.energy_j series.
+    const Json* stats = multi ? body->find("totals") : body;
+    if (const Json* metrics = stats ? stats->find("metrics") : nullptr) {
+      if (const Json* per_node = metrics->find("per_node")) {
+        if (const Json* series = per_node->find("node.energy_j")) {
+          double joules = 0.0;
+          for (const auto& [node, value] : series->items())
+            joules += value.as_double();
+          energy.add(joules);
+        }
+      }
+    }
+
+    // Lifetime proxy (polling only): worst sensor's power draw.
+    const Json* p = body->find("max_sensor_power_w");
+    if (p != nullptr && p->is_number()) max_power.add(p->as_double());
+  }
+
+  Json aggregates = Json::object()
+                        .set("delivery_ratio", delivery.to_json())
+                        .set("throughput_bps", throughput.to_json())
+                        .set("sensor_energy_j", energy.to_json());
+  if (max_power.count > 0)
+    aggregates.set("max_sensor_power_w", max_power.to_json());
+
+  Json body = Json::object()
+                  .set("campaign", Json(campaign.name))
+                  .set("points", Json::object()
+                                     .set("total", Json(total))
+                                     .set("ok", Json(results.size()))
+                                     .set("failed", Json(failed)))
+                  .set("aggregates", std::move(aggregates));
+  return obs::report_envelope("campaign_summary", std::move(body));
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const Campaign& campaign,
+                            const std::string& out_dir, std::size_t workers,
+                            std::FILE* log) {
+  namespace fs = std::filesystem;
+  fs::create_directories(out_dir);
+
+  const std::string results_path = out_dir + "/results.jsonl";
+  const std::string manifest_path = out_dir + "/manifest.jsonl";
+
+  const std::vector<CampaignPoint> points = expand_campaign(campaign);
+  CampaignResult result;
+  result.total = points.size();
+
+  // Resume: the manifest's last word per key decides.  "ok" points are
+  // skipped; failed (or unrecorded) points run.
+  std::vector<const CampaignPoint*> to_run;
+  const auto manifest_state = read_jsonl(manifest_path);
+  for (const CampaignPoint& point : points) {
+    bool done = false;
+    for (const auto& [key, entry] : manifest_state) {
+      if (key != point.key) continue;
+      const Json* status = entry.find("status");
+      done = status != nullptr && status->is_string() &&
+             status->as_string() == "ok";
+      break;
+    }
+    if (done) {
+      ++result.skipped;
+      if (log != nullptr)
+        std::fprintf(log, "campaign: skipping completed point %s\n",
+                     point.key.c_str());
+    } else {
+      to_run.push_back(&point);
+    }
+  }
+
+  std::ofstream results_out(results_path, std::ios::app);
+  std::ofstream manifest_out(manifest_path, std::ios::app);
+  if (!results_out.is_open() || !manifest_out.is_open())
+    throw std::runtime_error("campaign: cannot open output files in " +
+                             out_dir);
+
+  std::mutex mu;
+  std::size_t finished = 0;
+  std::vector<std::size_t> order(to_run.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // One simulation per sweep point across the shared thread pool; each
+  // point is isolated — a throwing point records a failed manifest line
+  // and the rest of the batch keeps going.
+  const std::vector<int> outcomes = exp::sweep<std::size_t, int>(
+      order,
+      [&](const std::size_t& i) -> int {
+        const CampaignPoint& point = *to_run[i];
+        Json report;
+        std::string error;
+        try {
+          const Scenario s = parse_scenario(point.doc);
+          report = run_scenario(s);
+        } catch (const std::exception& e) {
+          error = e.what();
+          if (error.empty()) error = "unknown error";
+        }
+
+        const std::scoped_lock lock(mu);
+        ++finished;
+        if (error.empty()) {
+          results_out << Json::object()
+                             .set("key", Json(point.key))
+                             .set("scenario", point.doc)
+                             .set("report", std::move(report))
+                             .dump()
+                      << '\n'
+                      << std::flush;
+          manifest_out << Json::object()
+                              .set("key", Json(point.key))
+                              .set("status", Json("ok"))
+                              .dump()
+                       << '\n'
+                       << std::flush;
+          if (log != nullptr)
+            std::fprintf(log, "campaign: [%zu/%zu] ok %s\n", finished,
+                         to_run.size(), point.key.c_str());
+          return 0;
+        }
+        manifest_out << Json::object()
+                            .set("key", Json(point.key))
+                            .set("status", Json("failed"))
+                            .set("error", Json(error))
+                            .dump()
+                     << '\n'
+                     << std::flush;
+        if (log != nullptr)
+          std::fprintf(log, "campaign: [%zu/%zu] FAILED %s: %s\n", finished,
+                       to_run.size(), point.key.c_str(), error.c_str());
+        return 1;
+      },
+      workers);
+
+  for (const int outcome : outcomes)
+    outcome == 0 ? ++result.ok : ++result.failed;
+
+  obs::save_json(out_dir + "/summary.json",
+                 build_summary(campaign, out_dir, points.size()));
+  return result;
+}
+
+}  // namespace mhp::scenario

@@ -1,0 +1,94 @@
+// Duration strings: the scenario schema writes Time fields as "20us" /
+// "1s" / "1.5ms" instead of raw nanosecond integers.  Parsing is exact
+// (digit arithmetic, no floating point), so any value format_duration
+// can emit re-parses to the identical Time.
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace mhp::scenario {
+
+namespace {
+
+[[noreturn]] void bad(std::string_view text, const std::string& why) {
+  throw ScenarioError("bad duration \"" + std::string(text) + "\": " + why);
+}
+
+}  // namespace
+
+Time parse_duration(std::string_view text) {
+  if (text.empty()) bad(text, "empty string");
+  std::size_t pos = 0;
+
+  // Integer part.
+  if (pos >= text.size() ||
+      !std::isdigit(static_cast<unsigned char>(text[pos])))
+    bad(text, "expected digits then one of ns/us/ms/s");
+  std::int64_t whole = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    const int digit = text[pos] - '0';
+    if (whole > (INT64_MAX - digit) / 10) bad(text, "value too large");
+    whole = whole * 10 + digit;
+    ++pos;
+  }
+
+  // Optional fraction.
+  std::int64_t frac = 0;       // fraction digits as an integer
+  std::int64_t frac_den = 1;   // 10^(number of fraction digits)
+  if (pos < text.size() && text[pos] == '.') {
+    ++pos;
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos])))
+      bad(text, "expected digits after '.'");
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      if (frac_den > INT64_MAX / 10) bad(text, "too many fraction digits");
+      frac = frac * 10 + (text[pos] - '0');
+      frac_den *= 10;
+      ++pos;
+    }
+  }
+
+  // Unit suffix (must end the string).
+  const std::string_view unit = text.substr(pos);
+  std::int64_t ns_per_unit = 0;
+  if (unit == "ns")
+    ns_per_unit = 1;
+  else if (unit == "us")
+    ns_per_unit = 1'000;
+  else if (unit == "ms")
+    ns_per_unit = 1'000'000;
+  else if (unit == "s")
+    ns_per_unit = 1'000'000'000;
+  else
+    bad(text, unit.empty() ? "missing unit (ns/us/ms/s)"
+                           : "unknown unit \"" + std::string(unit) + "\"");
+
+  if (whole > INT64_MAX / ns_per_unit) bad(text, "value too large");
+  std::int64_t total = whole * ns_per_unit;
+
+  // frac/frac_den units → (frac * ns_per_unit) / frac_den ns, exactly.
+  if (frac != 0) {
+    if ((frac * ns_per_unit) % frac_den != 0)
+      bad(text, "not a whole number of nanoseconds");
+    const std::int64_t frac_ns = frac * ns_per_unit / frac_den;
+    if (total > INT64_MAX - frac_ns) bad(text, "value too large");
+    total += frac_ns;
+  }
+  return Time::ns(total);
+}
+
+std::string format_duration(Time t) {
+  const std::int64_t ns = t.nanos();
+  if (ns == 0) return "0s";
+  if (ns % 1'000'000'000 == 0)
+    return std::to_string(ns / 1'000'000'000) + "s";
+  if (ns % 1'000'000 == 0) return std::to_string(ns / 1'000'000) + "ms";
+  if (ns % 1'000 == 0) return std::to_string(ns / 1'000) + "us";
+  return std::to_string(ns) + "ns";
+}
+
+}  // namespace mhp::scenario

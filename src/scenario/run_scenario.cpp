@@ -1,0 +1,118 @@
+#include "scenario/run_scenario.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "baseline/smac_simulation.hpp"
+#include "core/multi_cluster_sim.hpp"
+#include "core/polling_simulation.hpp"
+#include "obs/report_json.hpp"
+#include "util/rng.hpp"
+
+namespace mhp::scenario {
+
+Deployment build_deployment(const DeploymentSpec& spec,
+                            std::uint64_t seed_offset) {
+  using Kind = DeploymentSpec::Kind;
+  switch (spec.kind) {
+    case Kind::kConnectedUniformSquare: {
+      Rng rng(spec.seed + seed_offset);
+      return deploy_connected_uniform_square(spec.n_sensors, spec.side,
+                                             spec.sensor_range, rng);
+    }
+    case Kind::kUniformSquare: {
+      Rng rng(spec.seed + seed_offset);
+      return deploy_uniform_square(spec.n_sensors, spec.side, rng);
+    }
+    case Kind::kGrid:
+      return deploy_grid(spec.n_sensors, spec.side);
+    case Kind::kRings:
+      return deploy_rings(spec.rings, spec.per_ring, spec.spacing);
+    case Kind::kExplicit: {
+      Deployment d;
+      d.positions = spec.sensors;
+      d.positions.push_back(spec.head);
+      return d;
+    }
+  }
+  throw ScenarioError("scenario.deployment.kind: unhandled kind");
+}
+
+namespace {
+
+RuntimeOptions runtime_options(const Scenario& s) {
+  RuntimeOptions rt;
+  rt.trace_max_entries = s.trace_max_entries;
+  return rt;
+}
+
+/// Strip the non-deterministic host-side perf figures (the same fields
+/// the golden tests zero) so the report depends only on the scenario.
+void strip_perf(RunStats& stats) {
+  stats.wall_seconds = 0.0;
+  stats.events_per_sec = 0.0;
+}
+
+obs::Json run_polling(const Scenario& s) {
+  const Deployment dep = build_deployment(s.deployment);
+  PollingSimulation sim(dep, s.protocol,
+                        s.traffic.rates_bps.empty()
+                            ? std::vector<double>(s.deployment.sensor_count(),
+                                                  s.traffic.rate_bps)
+                            : s.traffic.rates_bps,
+                        runtime_options(s));
+  SimulationReport report = sim.run(s.run.duration, s.run.warmup);
+  if (!s.run.record_perf) strip_perf(report);
+  return obs::to_json(report);
+}
+
+obs::Json run_multi_cluster(const Scenario& s) {
+  std::vector<ClusterSpec> clusters;
+  clusters.reserve(s.clusters.grid_x * s.clusters.grid_y);
+  for (std::size_t gy = 0; gy < s.clusters.grid_y; ++gy) {
+    for (std::size_t gx = 0; gx < s.clusters.grid_x; ++gx) {
+      const std::size_t index = gy * s.clusters.grid_x + gx;
+      ClusterSpec spec;
+      spec.deployment = build_deployment(s.deployment, index);
+      spec.origin = Vec2{static_cast<double>(gx) * s.clusters.pitch,
+                         static_cast<double>(gy) * s.clusters.pitch};
+      clusters.push_back(std::move(spec));
+    }
+  }
+  MultiClusterSimulation sim(std::move(clusters), s.protocol, s.clusters.mode,
+                             s.traffic.rate_bps,
+                             s.clusters.interference_range,
+                             runtime_options(s));
+  MultiClusterReport report = sim.run(s.run.duration, s.run.warmup);
+  if (!s.run.record_perf) strip_perf(report.totals);
+  return obs::to_json(report);
+}
+
+obs::Json run_smac(const Scenario& s) {
+  const Deployment dep = build_deployment(s.deployment);
+  SmacSimulation sim(dep, s.smac,
+                     s.traffic.rates_bps.empty()
+                         ? std::vector<double>(s.deployment.sensor_count(),
+                                               s.traffic.rate_bps)
+                         : s.traffic.rates_bps,
+                     runtime_options(s));
+  SmacReport report = sim.run(s.run.duration, s.run.warmup);
+  if (!s.run.record_perf) strip_perf(report);
+  return obs::to_json(report);
+}
+
+}  // namespace
+
+obs::Json run_scenario(const Scenario& s) {
+  switch (s.stack) {
+    case StackKind::kPolling:
+      return run_polling(s);
+    case StackKind::kMultiCluster:
+      return run_multi_cluster(s);
+    case StackKind::kSmac:
+      return run_smac(s);
+  }
+  throw ScenarioError("scenario.stack: unhandled stack");
+}
+
+}  // namespace mhp::scenario

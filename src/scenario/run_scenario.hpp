@@ -1,0 +1,26 @@
+// Execute a parsed Scenario: build the deployment, construct the
+// selected simulation stack, run the measurement window and return the
+// standard report envelope ({"schema":1,"kind":...,"report":...}).
+#pragma once
+
+#include "net/deployment.hpp"
+#include "obs/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mhp::scenario {
+
+/// Materialize the node placement a DeploymentSpec describes.  Random
+/// kinds draw from an Rng seeded with `spec.seed + seed_offset` (the
+/// offset is how multi-cluster fields vary placement per cluster).
+Deployment build_deployment(const DeploymentSpec& spec,
+                            std::uint64_t seed_offset = 0);
+
+/// Run the scenario to completion.  With run.record_perf false the
+/// report's host-side perf fields (wall_seconds, events_per_sec) are
+/// zeroed, making the document a pure function of the scenario.
+/// Simulation-level failures surface as the stacks' own exceptions
+/// (ContractViolation, std::runtime_error); campaign runners catch them
+/// per point.
+obs::Json run_scenario(const Scenario& s);
+
+}  // namespace mhp::scenario

@@ -1,0 +1,225 @@
+// scenario_to_json: the canonical, complete serialization.
+//
+// Every field of every section relevant to the scenario's stack is
+// emitted in a fixed order, so a dump is a full record of the run and
+// dump(parse(dump(s))) is byte-identical to dump(s).  Keys that are
+// invalid for the deployment kind or stack are omitted entirely —
+// emitting them would make the dump un-parseable under the strict
+// schema.
+#include "obs/json.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mhp::scenario {
+
+namespace {
+
+using obs::Json;
+
+Json dump_point(Vec2 p) {
+  Json arr = Json::array();
+  arr.push_back(Json(p.x));
+  arr.push_back(Json(p.y));
+  return arr;
+}
+
+Json dump_radio(const RadioParams& r) {
+  return Json::object()
+      .set("bandwidth_bps", Json(r.bandwidth_bps))
+      .set("noise_w", Json(r.noise_w))
+      .set("sinr_threshold", Json(r.sinr_threshold))
+      .set("sensitivity_w", Json(r.sensitivity_w))
+      .set("cs_threshold_w", Json(r.cs_threshold_w));
+}
+
+Json dump_energy(const EnergyModel& e) {
+  return Json::object()
+      .set("tx_w", Json(e.tx_w))
+      .set("rx_w", Json(e.rx_w))
+      .set("idle_w", Json(e.idle_w))
+      .set("sleep_w", Json(e.sleep_w));
+}
+
+Json dump_deployment(const DeploymentSpec& d) {
+  using Kind = DeploymentSpec::Kind;
+  Json out = Json::object();
+  out.set("kind", Json(to_string(d.kind)));
+  const bool square = d.kind == Kind::kConnectedUniformSquare ||
+                      d.kind == Kind::kUniformSquare ||
+                      d.kind == Kind::kGrid;
+  if (square) {
+    out.set("n_sensors", Json(d.n_sensors));
+    out.set("side", Json(d.side));
+  }
+  if (d.kind == Kind::kConnectedUniformSquare)
+    out.set("sensor_range", Json(d.sensor_range));
+  if (d.kind == Kind::kConnectedUniformSquare ||
+      d.kind == Kind::kUniformSquare)
+    out.set("seed", Json(d.seed));
+  if (d.kind == Kind::kRings) {
+    out.set("rings", Json(d.rings));
+    out.set("per_ring", Json(d.per_ring));
+    out.set("spacing", Json(d.spacing));
+  }
+  if (d.kind == Kind::kExplicit) {
+    Json sensors = Json::array();
+    for (const Vec2& p : d.sensors) sensors.push_back(dump_point(p));
+    out.set("sensors", std::move(sensors));
+    out.set("head", dump_point(d.head));
+  }
+  return out;
+}
+
+Json dump_traffic(const TrafficSpec& t) {
+  Json out = Json::object();
+  if (t.rates_bps.empty()) {
+    out.set("rate_bps", Json(t.rate_bps));
+  } else {
+    Json rates = Json::array();
+    for (const double r : t.rates_bps) rates.push_back(Json(r));
+    out.set("rates_bps", std::move(rates));
+  }
+  return out;
+}
+
+Json dump_run(const RunSpec& r) {
+  return Json::object()
+      .set("duration", Json(format_duration(r.duration)))
+      .set("warmup", Json(format_duration(r.warmup)))
+      .set("record_perf", Json(r.record_perf));
+}
+
+Json dump_protocol(const ProtocolConfig& p) {
+  return Json::object()
+      .set("cycle_period", Json(format_duration(p.cycle_period)))
+      .set("data_bytes", Json(p.data_bytes))
+      .set("control_bytes", Json(p.control_bytes))
+      .set("ack_bytes", Json(p.ack_bytes))
+      .set("turnaround", Json(format_duration(p.turnaround)))
+      .set("slot_guard", Json(format_duration(p.slot_guard)))
+      .set("wake_margin", Json(format_duration(p.wake_margin)))
+      .set("wake_jitter", Json(format_duration(p.wake_jitter)))
+      .set("oracle_order", Json(p.oracle_order))
+      .set("cache_oracle", Json(p.cache_oracle))
+      .set("routing", Json(p.routing == RoutingPolicy::kBalancedMaxFlow
+                               ? "balanced_max_flow"
+                               : "shortest_path"))
+      .set("use_sectors", Json(p.use_sectors))
+      .set("rotate_paths", Json(p.rotate_paths))
+      .set("queue_capacity", Json(p.queue_capacity))
+      .set("max_packets_per_cycle", Json(p.max_packets_per_cycle))
+      .set("max_retries", Json(p.max_retries))
+      .set("max_drain_window", Json(format_duration(p.max_drain_window)))
+      .set("random_loss", Json(p.random_loss))
+      .set("seed", Json(p.seed))
+      .set("propagation",
+           Json(p.propagation == PropagationModel::kTwoRayGround
+                    ? "two_ray_ground"
+                    : (p.propagation == PropagationModel::kFreeSpace
+                           ? "free_space"
+                           : "log_normal_shadowing")))
+      .set("shadowing_sigma_db", Json(p.shadowing_sigma_db))
+      .set("shadowing_exponent", Json(p.shadowing_exponent))
+      .set("environment_seed", Json(p.environment_seed))
+      .set("radio", dump_radio(p.radio))
+      .set("sensor_energy", dump_energy(p.sensor_energy))
+      .set("head_energy", dump_energy(p.head_energy));
+}
+
+Json dump_recovery(const FaultRecoveryConfig& r) {
+  return Json::object()
+      .set("enabled", Json(r.enabled))
+      .set("suspect_polls", Json(r.suspect_polls))
+      .set("backoff_slots", Json(r.backoff_slots))
+      .set("max_backoff_slots", Json(r.max_backoff_slots))
+      .set("max_replans", Json(r.max_replans));
+}
+
+Json dump_smac(const SmacConfig& s) {
+  return Json::object()
+      .set("frame_period", Json(format_duration(s.frame_period)))
+      .set("duty_cycle", Json(s.duty_cycle))
+      .set("schedule_groups", Json(s.schedule_groups))
+      .set("sync_every_frames", Json(s.sync_every_frames))
+      .set("sync_bytes", Json(s.sync_bytes))
+      .set("difs", Json(format_duration(s.difs)))
+      .set("sifs", Json(format_duration(s.sifs)))
+      .set("backoff_slot", Json(format_duration(s.backoff_slot)))
+      .set("contention_window", Json(s.contention_window))
+      .set("cw_max", Json(s.cw_max))
+      .set("retry_limit", Json(s.retry_limit))
+      .set("rts_bytes", Json(s.rts_bytes))
+      .set("cts_bytes", Json(s.cts_bytes))
+      .set("ack_bytes", Json(s.ack_bytes))
+      .set("data_bytes", Json(s.data_bytes))
+      .set("route_lifetime", Json(format_duration(s.route_lifetime)))
+      .set("rreq_retry_interval",
+           Json(format_duration(s.rreq_retry_interval)))
+      .set("rreq_retries", Json(s.rreq_retries))
+      .set("rreq_bytes", Json(s.rreq_bytes))
+      .set("rrep_bytes", Json(s.rrep_bytes))
+      .set("rreq_jitter", Json(format_duration(s.rreq_jitter)))
+      .set("queue_capacity", Json(s.queue_capacity))
+      .set("seed", Json(s.seed))
+      .set("radio", dump_radio(s.radio))
+      .set("energy", dump_energy(s.energy));
+}
+
+Json dump_clusters(const ClusterFieldSpec& c) {
+  return Json::object()
+      .set("grid_x", Json(c.grid_x))
+      .set("grid_y", Json(c.grid_y))
+      .set("pitch", Json(c.pitch))
+      .set("mode", Json(to_string(c.mode)))
+      .set("interference_range", Json(c.interference_range));
+}
+
+Json dump_faults(const FaultPlan& plan) {
+  Json deaths = Json::array();
+  for (const NodeDeath& d : plan.deaths()) {
+    Json entry = Json::object();
+    entry.set("node", Json(static_cast<std::int64_t>(d.node)));
+    if (d.cause == NodeDeath::Cause::kScripted)
+      entry.set("at", Json(format_duration(d.at)));
+    else
+      entry.set("battery_j", Json(d.battery_j));
+    deaths.push_back(std::move(entry));
+  }
+  Json links = Json::array();
+  for (const LinkDegradation& l : plan.degradations()) {
+    links.push_back(Json::object()
+                        .set("a", Json(static_cast<std::int64_t>(l.a)))
+                        .set("b", Json(static_cast<std::int64_t>(l.b)))
+                        .set("begin", Json(format_duration(l.begin)))
+                        .set("end", Json(format_duration(l.end)))
+                        .set("loss", Json(l.loss)));
+  }
+  return Json::object()
+      .set("deaths", std::move(deaths))
+      .set("degrade_links", std::move(links));
+}
+
+}  // namespace
+
+obs::Json scenario_to_json(const Scenario& s) {
+  Json doc = Json::object();
+  doc.set("name", Json(s.name));
+  doc.set("stack", Json(to_string(s.stack)));
+  doc.set("deployment", dump_deployment(s.deployment));
+  doc.set("traffic", dump_traffic(s.traffic));
+  doc.set("run", dump_run(s.run));
+  doc.set("runtime",
+          Json::object().set("trace_max_entries", Json(s.trace_max_entries)));
+  if (s.stack != StackKind::kSmac) {
+    doc.set("protocol", dump_protocol(s.protocol));
+    doc.set("recovery", dump_recovery(s.protocol.recovery));
+  }
+  if (s.stack == StackKind::kMultiCluster)
+    doc.set("clusters", dump_clusters(s.clusters));
+  if (s.stack == StackKind::kSmac) doc.set("smac", dump_smac(s.smac));
+  doc.set("faults", dump_faults(s.stack == StackKind::kSmac
+                                    ? s.smac.faults
+                                    : s.protocol.faults));
+  return doc;
+}
+
+}  // namespace mhp::scenario

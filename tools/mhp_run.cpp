@@ -1,0 +1,157 @@
+// mhp_run: execute declarative scenarios and campaigns from the command
+// line.
+//
+//   mhp_run scenario.json                   run, report to stdout
+//   mhp_run scenario.json --out report.json run, report to a file
+//   mhp_run --validate-only a.json b.json   parse + validate, run nothing
+//   mhp_run --dump-defaults [stack]         print the fully-defaulted
+//                                           scenario (polling default)
+//   mhp_run --campaign campaign.json --out-dir DIR [--workers N]
+//
+// Exit codes: 0 success, 1 runtime/validation failure, 2 usage error.
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/flags.hpp"
+#include "obs/report_json.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/run_scenario.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace mhp;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open())
+    throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int dump_defaults(const std::string& stack_name) {
+  scenario::StackKind stack = scenario::StackKind::kPolling;
+  if (stack_name == "multi_cluster")
+    stack = scenario::StackKind::kMultiCluster;
+  else if (stack_name == "smac")
+    stack = scenario::StackKind::kSmac;
+  else if (stack_name != "polling") {
+    std::fprintf(stderr,
+                 "mhp_run: unknown stack \"%s\" (polling, multi_cluster, "
+                 "smac)\n",
+                 stack_name.c_str());
+    return 2;
+  }
+  const obs::Json doc =
+      scenario::scenario_to_json(scenario::default_scenario(stack));
+  std::printf("%s\n", doc.dump(2).c_str());
+  return 0;
+}
+
+int validate_only(const std::vector<std::string>& paths) {
+  int bad = 0;
+  for (const std::string& path : paths) {
+    try {
+      const obs::Json doc = obs::parse_json(read_file(path));
+      // A top-level "base" key marks a campaign file; everything else
+      // must be a plain scenario.
+      if (doc.is_object() && doc.find("base") != nullptr) {
+        const std::filesystem::path dir =
+            std::filesystem::path(path).parent_path();
+        const scenario::Campaign campaign = scenario::parse_campaign(
+            doc, [&dir](const std::string& base) {
+              return read_file((dir / base).string());
+            });
+        std::printf("%s: ok (campaign, %zu points)\n", path.c_str(),
+                    scenario::expand_campaign(campaign).size());
+      } else {
+        scenario::parse_scenario(doc);
+        std::printf("%s: ok\n", path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+int run_one(const std::string& path, const std::string& out) {
+  const scenario::Scenario s = scenario::parse_scenario_text(read_file(path));
+  const obs::Json report = scenario::run_scenario(s);
+  if (out.empty()) {
+    std::printf("%s\n", report.dump(2).c_str());
+    return 0;
+  }
+  return obs::save_json(out, report) ? 0 : 1;
+}
+
+int run_campaign_file(const std::string& path, const std::string& out_dir,
+                      std::size_t workers) {
+  // "base": "fig7a.json" resolves relative to the campaign file.
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  const scenario::Campaign campaign = scenario::parse_campaign(
+      obs::parse_json(read_file(path)), [&dir](const std::string& base) {
+        return read_file((dir / base).string());
+      });
+  const scenario::CampaignResult r =
+      scenario::run_campaign(campaign, out_dir, workers, stdout);
+  std::printf(
+      "campaign: %zu point(s): %zu ok, %zu failed, %zu skipped "
+      "(results in %s)\n",
+      r.total, r.ok, r.failed, r.skipped, out_dir.c_str());
+  return r.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Flags flags(
+      "run declarative scenario / campaign files (JSON) and emit reports");
+  flags.flag("--validate-only", "parse and validate inputs, run nothing")
+      .flag("--dump-defaults", "print the fully-defaulted scenario schema")
+      .flag("--campaign", "treat the input as a campaign file")
+      .option("--out", "FILE", "write the scenario report here")
+      .option("--out-dir", "DIR", "campaign output directory (default: .)")
+      .option("--workers", "N", "campaign worker threads (0 = all cores)")
+      .positional("file", 0, 64);
+  flags.parse(argc, argv);
+
+  try {
+    if (flags.has("--dump-defaults")) {
+      const std::string stack =
+          flags.args().empty() ? "polling" : flags.args().front();
+      return dump_defaults(stack);
+    }
+    if (flags.has("--validate-only")) {
+      if (flags.args().empty()) {
+        std::fprintf(stderr, "mhp_run: --validate-only needs input files\n");
+        return 2;
+      }
+      return validate_only(flags.args());
+    }
+    if (flags.args().size() != 1) {
+      std::fprintf(stderr, "mhp_run: expected exactly one input file "
+                           "(see --help)\n");
+      return 2;
+    }
+    if (flags.has("--campaign")) {
+      const std::string workers = flags.value("--workers", "0");
+      return run_campaign_file(flags.args().front(),
+                               flags.value("--out-dir", "."),
+                               static_cast<std::size_t>(
+                                   std::stoul(workers)));
+    }
+    return run_one(flags.args().front(), flags.value("--out"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mhp_run: %s\n", e.what());
+    return 1;
+  }
+}
