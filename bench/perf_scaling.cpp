@@ -1,17 +1,23 @@
 // Hot-path scaling trajectory: topology construction (spatial grid vs the
-// O(n²) brute-force reference), min-max-load routing, and one full greedy
-// polling cycle over n ∈ {50, 200, 500, 1000} sensors at constant density.
+// O(n²) brute-force reference), min-max-load routing (warm-start
+// RoutingEngine vs a from-zero δ-search), and one full greedy polling
+// cycle over n ∈ {50, 200, 500, 1000, 5000, 20000} sensors at constant
+// density.
 //
 // The polling cycle runs the offline greedy scheduler through a
-// CachedOracle over the disc interference model, so the emitted
-// BENCH_perf.json carries the three numbers the ROADMAP's scaling story
-// needs: wall time per stage, scheduled transmissions per second, and the
-// oracle cache hit rate.  Each row also records a *generous* floor
-// (tx/sec ÷ 20) that CI's perf-smoke job checks future runs against.
+// pair-screening CachedOracle over the disc interference model, so the
+// emitted BENCH_perf.json carries the numbers the ROADMAP's scaling story
+// needs: wall time per phase, scheduled transmissions per second, and the
+// oracle cache hit rate.  Each row also records *generous* per-phase
+// budgets (phase ms × 20) plus the tx/sec floor (÷ 20) that CI's
+// perf-smoke job checks future runs against.  The O(n²) reference columns
+// (brute-force topology, cold routing) are only measured up to n = 1000;
+// beyond that they read 0 = skipped.
 //
 //   --smoke               small points only (n ∈ {50, 200}) for CI
-//   --baseline <path>     after running, compare the n=200 tx/sec against
-//                         the floor recorded in <path>; exit 1 on regression
+//   --baseline <path>     after running, compare the n=200 tx/sec and
+//                         per-phase times against the floor/budgets
+//                         recorded in <path>; exit 1 on regression
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "exp/csv_out.hpp"
 #include "net/deployment.hpp"
 #include "obs/json.hpp"
+#include "route/routing_engine.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -47,15 +54,20 @@ struct Point {
 
 struct Result {
   double topo_grid_ms = 0.0;
-  double topo_brute_ms = 0.0;
+  double topo_brute_ms = 0.0;  // 0 = skipped (n > 1000)
   double topo_speedup = 0.0;
-  double routing_ms = 0.0;
+  double routing_ms = 0.0;       // warm-start engine (production path)
+  double routing_cold_ms = 0.0;  // from-zero δ-search; 0 = skipped
+  double routing_speedup = 0.0;
   long long polling_slots = 0;
   long long polling_tx = 0;
   double polling_ms = 0.0;
   double tx_per_sec = 0.0;
   double cache_hit_rate = 0.0;
   double floor_tx_per_sec = 0.0;
+  double budget_topo_ms = 0.0;
+  double budget_routing_ms = 0.0;
+  double budget_polling_ms = 0.0;
 };
 
 constexpr double kSensorRange = 60.0;
@@ -73,39 +85,60 @@ Result run_point(const Point& p) {
   const Deployment dep = deploy_connected_uniform_square(
       p.sensors, side_for(p.sensors), kSensorRange, rng);
 
+  // O(n²) reference measurements stop paying their way past n=1000.
+  const bool reference = p.sensors <= 1000;
+
   // Topology: grid vs brute force, best-effort amortized over repeats.
-  const int grid_reps = 10;
+  const int grid_reps = p.sensors > 5000 ? 3 : 10;
   const int brute_reps = p.sensors > 300 ? 3 : 10;
   std::size_t edges_grid = 0, edges_brute = 0;
   auto t0 = Clock::now();
   for (int r = 0; r < grid_reps; ++r)
     edges_grid = disc_topology(dep, kSensorRange).sensor_links().edge_count();
   out.topo_grid_ms = ms_since(t0) / grid_reps;
-  t0 = Clock::now();
-  for (int r = 0; r < brute_reps; ++r)
-    edges_brute =
-        disc_topology_brute_force(dep, kSensorRange).sensor_links()
-            .edge_count();
-  out.topo_brute_ms = ms_since(t0) / brute_reps;
-  MHP_REQUIRE(edges_grid == edges_brute, "grid and brute graphs disagree");
-  out.topo_speedup =
-      out.topo_grid_ms > 0.0 ? out.topo_brute_ms / out.topo_grid_ms : 0.0;
+  if (reference) {
+    t0 = Clock::now();
+    for (int r = 0; r < brute_reps; ++r)
+      edges_brute =
+          disc_topology_brute_force(dep, kSensorRange).sensor_links()
+              .edge_count();
+    out.topo_brute_ms = ms_since(t0) / brute_reps;
+    MHP_REQUIRE(edges_grid == edges_brute, "grid and brute graphs disagree");
+    out.topo_speedup =
+        out.topo_grid_ms > 0.0 ? out.topo_brute_ms / out.topo_grid_ms : 0.0;
+  }
 
-  // Routing: one min-max-load solve, unit demand everywhere.
+  // Routing: one min-max-load solve, unit demand everywhere, on the
+  // warm-start engine (the production path); at reference sizes also a
+  // from-zero δ-search to pin the warm-start speedup.
   const ClusterTopology topo = disc_topology(dep, kSensorRange);
   const std::vector<std::int64_t> demand(p.sensors, 1);
+  route::RoutingEngine engine;
   t0 = Clock::now();
-  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  MinMaxLoadResult solution = engine.solve_balanced(topo, demand);
   out.routing_ms = ms_since(t0);
+  if (reference) {
+    route::RoutingEngine cold({MaxFlowAlgo::kDinic, /*warm_start=*/false});
+    t0 = Clock::now();
+    const MinMaxLoadResult ref = cold.solve_balanced(topo, demand);
+    out.routing_cold_ms = ms_since(t0);
+    MHP_REQUIRE(ref.max_load == solution.max_load,
+                "warm and cold solves disagree");
+    out.routing_speedup = out.routing_ms > 0.0
+                              ? out.routing_cold_ms / out.routing_ms
+                              : 0.0;
+  }
+  const RelayPlan plan(topo, std::move(solution));
 
   // One polling cycle: drain every sensor's packet through the greedy
-  // scheduler, disc-model interference behind the memoizing cache.
+  // scheduler, disc-model interference behind the pair-screening cache
+  // (the disc model is monotone, so screening is sound).
   std::vector<std::vector<NodeId>> paths;
   paths.reserve(p.sensors);
   for (NodeId s = 0; s < p.sensors; ++s)
     paths.push_back(plan.path_for_cycle(s, 0).hops);
   const DiscModelOracle truth(dep.positions, kSensorRange, 3);
-  const CachedOracle cached(truth);
+  const CachedOracle cached(truth, CachedOracle::PairScreen::kOn);
   t0 = Clock::now();
   const OfflineRunResult run = run_offline(cached, paths);
   out.polling_ms = ms_since(t0);
@@ -116,31 +149,48 @@ Result run_point(const Point& p) {
                        ? 1000.0 * static_cast<double>(run.transmissions) /
                              out.polling_ms
                        : 0.0;
-  const double queries =
-      static_cast<double>(cached.hits() + cached.misses());
-  out.cache_hit_rate =
-      queries > 0.0 ? static_cast<double>(cached.hits()) / queries : 0.0;
+  out.cache_hit_rate = cached.hit_rate();
   out.floor_tx_per_sec = out.tx_per_sec / 20.0;
+  out.budget_topo_ms = out.topo_grid_ms * 20.0;
+  out.budget_routing_ms = out.routing_ms * 20.0;
+  out.budget_polling_ms = out.polling_ms * 20.0;
   return out;
 }
 
-/// The committed baseline's floor for the n=200 point, or -1 when absent.
-double baseline_floor(const std::string& path) {
+/// The committed baseline's gates for the n=200 point.  Absent fields
+/// read -1 (their check is skipped), so older baselines still gate.
+struct BaselineGates {
+  double floor_tx_per_sec = -1.0;
+  double budget_topo_ms = -1.0;
+  double budget_routing_ms = -1.0;
+  double budget_polling_ms = -1.0;
+};
+
+BaselineGates baseline_gates(const std::string& path, bool& found) {
+  BaselineGates g;
+  found = false;
   std::ifstream in(path);
-  if (!in) return -1.0;
+  if (!in) return g;
   std::ostringstream buf;
   buf << in.rdbuf();
   const mhp::obs::Json doc = mhp::obs::parse_json(buf.str());
   const mhp::obs::Json* points = doc.find("points");
-  if (points == nullptr || !points->is_array()) return -1.0;
+  if (points == nullptr || !points->is_array()) return g;
   for (std::size_t i = 0; i < points->size(); ++i) {
     const mhp::obs::Json& row = points->at(i);
     const mhp::obs::Json* n = row.find("sensors");
-    const mhp::obs::Json* floor = row.find("floor_tx_per_sec");
-    if (n != nullptr && floor != nullptr && n->as_int() == 200)
-      return floor->as_double();
+    if (n == nullptr || n->as_int() != 200) continue;
+    const auto read = [&row](const char* key, double& dst) {
+      if (const mhp::obs::Json* v = row.find(key)) dst = v->as_double();
+    };
+    read("floor_tx_per_sec", g.floor_tx_per_sec);
+    read("budget_topo_ms", g.budget_topo_ms);
+    read("budget_routing_ms", g.budget_routing_ms);
+    read("budget_polling_ms", g.budget_polling_ms);
+    found = g.floor_tx_per_sec >= 0.0;
+    return g;
   }
-  return -1.0;
+  return g;
 }
 
 }  // namespace
@@ -155,10 +205,11 @@ int main(int argc, char** argv) {
   const std::string baseline_path = flags.value("--baseline");
   // Parse the baseline up front: this run overwrites BENCH_perf.json in
   // the working directory, and CI points --baseline at the committed copy.
-  double floor = -1.0;
+  BaselineGates gates;
   if (!baseline_path.empty()) {
-    floor = baseline_floor(baseline_path);
-    if (floor < 0.0) {
+    bool found = false;
+    gates = baseline_gates(baseline_path, found);
+    if (!found) {
       std::fprintf(stderr, "perf_scaling: no n=200 floor in baseline %s\n",
                    baseline_path.c_str());
       return 1;
@@ -170,7 +221,7 @@ int main(int argc, char** argv) {
   if (smoke) {
     points = {{50}, {200}};
   } else {
-    points = {{50}, {200}, {500}, {1000}};
+    points = {{50}, {200}, {500}, {1000}, {5000}, {20000}};
   }
 
   // Sequential on purpose: the columns are wall-clock timings and thread
@@ -181,27 +232,37 @@ int main(int argc, char** argv) {
   for (const Point& p : points) results.push_back(run_point(p));
 
   std::printf(
-      "Hot-path scaling — spatial-grid topology, cached oracle, greedy "
-      "polling\n(topo speedup = brute-force / grid build time)\n\n");
+      "Hot-path scaling — spatial-grid topology, warm-start routing "
+      "engine, pair-screening cached oracle, greedy polling\n"
+      "(speedups = reference / production time; 0 = reference skipped)\n\n");
 
   Table table({"sensors", "topo grid ms", "topo brute ms", "topo_speedup",
-               "routing ms", "polling_slots", "polling tx", "polling ms",
-               "tx_per_sec", "cache_hit_rate", "floor_tx_per_sec"});
+               "routing ms", "routing cold ms", "routing_speedup",
+               "polling_slots", "polling tx", "polling ms", "tx_per_sec",
+               "cache_hit_rate", "floor_tx_per_sec", "budget_topo_ms",
+               "budget_routing_ms", "budget_polling_ms"});
   table.set_precision(1, 3);
   table.set_precision(2, 3);
   table.set_precision(3, 1);
   table.set_precision(4, 2);
-  table.set_precision(7, 2);
-  table.set_precision(8, 0);
-  table.set_precision(9, 3);
+  table.set_precision(5, 2);
+  table.set_precision(6, 2);
+  table.set_precision(9, 2);
   table.set_precision(10, 0);
+  table.set_precision(11, 3);
+  table.set_precision(12, 0);
+  table.set_precision(13, 1);
+  table.set_precision(14, 1);
+  table.set_precision(15, 1);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Result& r = results[i];
     table.add_row({static_cast<long long>(points[i].sensors),
                    r.topo_grid_ms, r.topo_brute_ms, r.topo_speedup,
-                   r.routing_ms, r.polling_slots, r.polling_tx,
-                   r.polling_ms, r.tx_per_sec, r.cache_hit_rate,
-                   r.floor_tx_per_sec});
+                   r.routing_ms, r.routing_cold_ms, r.routing_speedup,
+                   r.polling_slots, r.polling_tx, r.polling_ms,
+                   r.tx_per_sec, r.cache_hit_rate, r.floor_tx_per_sec,
+                   r.budget_topo_ms, r.budget_routing_ms,
+                   r.budget_polling_ms});
     recorder.add_events(static_cast<std::uint64_t>(r.polling_tx));
   }
   std::printf("%s\n", table.to_ascii().c_str());
@@ -209,18 +270,35 @@ int main(int argc, char** argv) {
   mhp::exp::save_bench_json("perf", table, recorder);
 
   if (!baseline_path.empty()) {
-    double current = 0.0;
+    const Result* current = nullptr;
     for (std::size_t i = 0; i < points.size(); ++i)
-      if (points[i].sensors == 200) current = results[i].tx_per_sec;
-    if (current < floor) {
+      if (points[i].sensors == 200) current = &results[i];
+    MHP_REQUIRE(current != nullptr, "n=200 point missing from this run");
+    bool ok = true;
+    if (current->tx_per_sec < gates.floor_tx_per_sec) {
       std::fprintf(stderr,
                    "perf_scaling: REGRESSION — n=200 tx/sec %.0f below "
                    "baseline floor %.0f\n",
-                   current, floor);
-      return 1;
+                   current->tx_per_sec, gates.floor_tx_per_sec);
+      ok = false;
     }
-    std::printf("perf floor check ok: n=200 tx/sec %.0f >= floor %.0f\n",
-                current, floor);
+    const auto check_budget = [&](const char* phase, double ms,
+                                  double budget) {
+      if (budget < 0.0 || ms <= budget) return;
+      std::fprintf(stderr,
+                   "perf_scaling: REGRESSION — n=200 %s %.2f ms over "
+                   "baseline budget %.2f ms\n",
+                   phase, ms, budget);
+      ok = false;
+    };
+    check_budget("topology", current->topo_grid_ms, gates.budget_topo_ms);
+    check_budget("routing", current->routing_ms, gates.budget_routing_ms);
+    check_budget("polling", current->polling_ms, gates.budget_polling_ms);
+    if (!ok) return 1;
+    std::printf(
+        "perf gates ok: n=200 tx/sec %.0f >= floor %.0f; phase times "
+        "within budgets\n",
+        current->tx_per_sec, gates.floor_tx_per_sec);
   }
   return 0;
 }

@@ -128,6 +128,25 @@ bool CachedOracle::compatible(std::span<const Tx> txs) const {
   TxGroup g = normalize(txs);
   if (g.size() <= 1) return g.empty() || g[0].from != g[0].to;
   if (static_cast<int>(g.size()) > order()) return false;
+  if (screen_ == PairScreen::kOn && g.size() > 2) {
+    // A pair already known incompatible dooms every group containing it
+    // (monotone oracles only; see the header).  `g` is sorted/unique, so
+    // each {g[i], g[j]} with i<j is itself a normalized group.
+    pair_scratch_.resize(2);
+    for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+      pair_scratch_[0] = g[i];
+      for (std::size_t j = i + 1; j < g.size(); ++j) {
+        pair_scratch_[1] = g[j];
+        const auto it = cache_.find(pair_scratch_);
+        if (it != cache_.end() && !it->second) {
+          ++hits_;
+          ++screened_;
+          if (hit_counter_) hit_counter_->add();
+          return false;
+        }
+      }
+    }
+  }
   if (const auto it = cache_.find(g); it != cache_.end()) {
     ++hits_;
     if (hit_counter_) hit_counter_->add();

@@ -192,7 +192,20 @@ class DiscModelOracle : public CompatibilityOracle {
 /// other oracle.  The inner oracle must outlive the cache.
 class CachedOracle : public CompatibilityOracle {
  public:
-  explicit CachedOracle(const CompatibilityOracle& inner) : inner_(inner) {}
+  /// Opt-in pair screening: before consulting the memo (or the inner
+  /// oracle) for a group of three or more, check every pair of the group
+  /// against the cache — a cached-incompatible pair proves the whole
+  /// group incompatible without a new inner query.  Sound only for
+  /// monotone oracles (a conflicting pair conflicts in every superset),
+  /// which holds for SINR-style oracles and structural validity but NOT
+  /// for, e.g., an ExplicitOracle that forbids a pair outright while
+  /// allowing its supersets — hence opt-in.  Screen rejections count as
+  /// hits (they are answered from cached data alone).
+  enum class PairScreen { kOff, kOn };
+
+  explicit CachedOracle(const CompatibilityOracle& inner,
+                        PairScreen screen = PairScreen::kOff)
+      : inner_(inner), screen_(screen) {}
 
   int order() const override { return inner_.order(); }
 
@@ -207,6 +220,15 @@ class CachedOracle : public CompatibilityOracle {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Hits answered by the pair screen (subset of hits()).
+  std::uint64_t screened() const { return screened_; }
+  /// Hits / total queries (0.0 before the first query).
+  double hit_rate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
   std::size_t size() const { return cache_.size(); }
 
  protected:
@@ -215,9 +237,12 @@ class CachedOracle : public CompatibilityOracle {
 
  private:
   const CompatibilityOracle& inner_;
+  PairScreen screen_ = PairScreen::kOff;
   mutable std::unordered_map<TxGroup, bool, TxGroupHash> cache_;
+  mutable TxGroup pair_scratch_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
+  mutable std::uint64_t screened_ = 0;
   Counter* hit_counter_ = nullptr;
   Counter* miss_counter_ = nullptr;
 };

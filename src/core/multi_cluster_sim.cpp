@@ -26,7 +26,8 @@ MultiClusterSimulation::MultiClusterSimulation(
     std::vector<ClusterSpec> clusters, ProtocolConfig cfg,
     InterClusterMode mode, double rate_bps, double interference_range,
     const RuntimeOptions& rt_opts)
-    : cfg_(cfg), mode_(mode), rt_(cfg.seed, rt_opts), rate_bps_(rate_bps) {
+    : cfg_(cfg), mode_(mode), rt_(cfg.seed, rt_opts),
+      route_workers_(rt_opts.route_workers), rate_bps_(rate_bps) {
   MHP_REQUIRE(!clusters.empty(), "need at least one cluster");
   build(std::move(clusters), rate_bps, interference_range);
 }
@@ -100,6 +101,9 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
 
   Rng& root = rt_.root_rng();
   clusters_.resize(num_clusters);
+
+  // Pass 1: per-cluster topology and routing demand (sequential — the
+  // connectivity predicate probes the shared channels).
   for (std::size_t c = 0; c < num_clusters; ++c) {
     ClusterRt& rt = clusters_[c];
     Channel& channel =
@@ -118,15 +122,39 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
     MHP_REQUIRE(rt.topo->fully_connected(), "cluster not fully connected");
 
     const double cycle_s = cfg_.cycle_period.to_seconds();
-    std::vector<std::int64_t> demand(n);
-    for (auto& d : demand)
+    rt.demand.assign(n, 0);
+    for (auto& d : rt.demand)
       d = std::max<std::int64_t>(
           1, static_cast<std::int64_t>(std::llround(std::ceil(
                  rate_bps * cycle_s /
                  static_cast<double>(cfg_.data_bytes)))));
-    rt.plan = std::make_unique<RelayPlan>(RelayPlan::balanced(*rt.topo,
-                                                              demand));
-    rt.demand = demand;
+  }
+
+  // Pass 2: solve every cluster's balanced routing plan in one batch —
+  // each solve is a pure function of its (topo, demand) job, so fanning
+  // out on route_workers threads yields byte-identical plans in cluster
+  // order regardless of worker count.
+  {
+    std::vector<route::ClusterRouteJob> jobs(num_clusters);
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      jobs[c].topo = clusters_[c].topo.get();
+      jobs[c].demand = clusters_[c].demand;
+    }
+    std::vector<MinMaxLoadResult> solutions =
+        route::solve_clusters(jobs, route_workers_);
+    for (std::size_t c = 0; c < num_clusters; ++c)
+      clusters_[c].plan = std::make_unique<RelayPlan>(
+          *clusters_[c].topo, std::move(solutions[c]));
+  }
+
+  // Pass 3: sector/ack plans, oracles and agents (sequential: shared
+  // uid source and deterministic rng-split order).
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    ClusterRt& rt = clusters_[c];
+    Channel& channel =
+        rt_.channel(static_cast<std::size_t>(placement[c].group));
+    const std::size_t n = rt.num_sensors;
+    const NodeId base = rt.base;
 
     // Global (channel-id) paths: the local head is id n, so adding the
     // base translates sensors and head alike.
@@ -228,7 +256,10 @@ const CompatibilityOracle& MultiClusterSimulation::scheduling_oracle(
     ClusterRt& rt) {
   if (!cfg_.cache_oracle) return *rt.oracle;
   if (rt.cached) rt.retired_caches.push_back(std::move(rt.cached));
-  rt.cached = std::make_unique<CachedOracle>(*rt.oracle);
+  // Pair screening is sound here: the measured oracle inherits SINR
+  // monotonicity (an interfering pair interferes in every superset).
+  rt.cached = std::make_unique<CachedOracle>(
+      *rt.oracle, CachedOracle::PairScreen::kOn);
   MetricsRegistry& m = rt_.metrics();
   rt.cached->bind_counters(&m.counter(metric::kOracleCacheHit),
                            &m.counter(metric::kOracleCacheMiss));
@@ -251,8 +282,10 @@ void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
   MHP_REQUIRE(declared >= rt.base && declared < rt.base + rt.num_sensors,
               "head declared a node outside its cluster");
   rt.declared_dead.push_back(declared - rt.base);
-  RouteRepair repair =
-      repair_routes(*rt.topo, rt.declared_dead, rt.demand, cfg_.routing);
+  const RelayPlan* hint =
+      rt.repair_plan ? rt.repair_plan.get() : rt.plan.get();
+  RouteRepair repair = repair_routes(*rt.topo, rt.declared_dead, rt.demand,
+                                     cfg_.routing, &engine_, hint);
 
   const NodeId base = rt.base;
   auto globalize = [base](std::vector<NodeId> path) {
@@ -277,6 +310,7 @@ void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
       *rt.truth, transmissions_of_paths(probe_paths), cfg_.oracle_order);
   rt.head_agent->set_oracle(scheduling_oracle(rt));
   rt.head_agent->replace_plans({std::move(sp)});
+  rt.repair_plan = std::make_unique<RelayPlan>(std::move(repair.plan));
   rt.last_orphaned = repair.orphaned.size();
   repair_gen_ = sum_generated();
   repair_del_ = sum_delivered();

@@ -74,6 +74,8 @@ class MultiClusterSimulation {
     NodeId head = kNoNode;               // global id on its channel
     std::unique_ptr<ClusterTopology> topo;
     std::unique_ptr<RelayPlan> plan;
+    /// Latest repaired plan: warm hint for this cluster's next replan.
+    std::unique_ptr<RelayPlan> repair_plan;
     std::unique_ptr<ChannelOracle> truth;
     std::unique_ptr<MeasuredOracle> oracle;
     std::unique_ptr<CachedOracle> cached;
@@ -104,6 +106,10 @@ class MultiClusterSimulation {
                              // head agents keep a reference to it
   InterClusterMode mode_;
   SimRuntime rt_;
+  /// Arena-reusing engine for replans (set-up solves fan out through
+  /// route::solve_clusters on `route_workers_` threads instead).
+  route::RoutingEngine engine_;
+  std::size_t route_workers_ = 1;
   std::vector<ClusterRt> clusters_;
   int channels_used_ = 1;
   double rate_bps_ = 0.0;

@@ -95,9 +95,9 @@ void PollingSimulation::setup(const Deployment& deployment) {
         1, static_cast<std::int64_t>(std::llround(std::ceil(per_cycle))));
   }
   plan_ = std::make_unique<RelayPlan>(
-      cfg_.routing == RoutingPolicy::kShortestPath
-          ? RelayPlan::shortest(*topo_, demand)
-          : RelayPlan::balanced(*topo_, demand));
+      *topo_, cfg_.routing == RoutingPolicy::kShortestPath
+                  ? engine_.solve_shortest(*topo_, demand)
+                  : engine_.solve_balanced(*topo_, demand));
 
   truth_ = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
 
@@ -222,7 +222,10 @@ const CompatibilityOracle& PollingSimulation::scheduling_oracle() {
   // A fresh wrapper per oracle generation: the head may still query the
   // previous one until its next phase, so it retires rather than resets.
   if (cached_oracle_) retired_caches_.push_back(std::move(cached_oracle_));
-  cached_oracle_ = std::make_unique<CachedOracle>(*oracle_);
+  // Pair screening is sound here: the measured oracle inherits SINR
+  // monotonicity (an interfering pair interferes in every superset).
+  cached_oracle_ = std::make_unique<CachedOracle>(
+      *oracle_, CachedOracle::PairScreen::kOn);
   MetricsRegistry& m = rt_.metrics();
   cached_oracle_->bind_counters(&m.counter(metric::kOracleCacheHit),
                                 &m.counter(metric::kOracleCacheMiss));
@@ -249,8 +252,9 @@ void PollingSimulation::on_node_death(const NodeDeath& death) {
 
 void PollingSimulation::replan_after_death(NodeId declared) {
   declared_dead_.push_back(declared);
-  RouteRepair repair =
-      repair_routes(*topo_, declared_dead_, demand_, cfg_.routing);
+  const RelayPlan* hint = repair_plan_ ? repair_plan_.get() : plan_.get();
+  RouteRepair repair = repair_routes(*topo_, declared_dead_, demand_,
+                                     cfg_.routing, &engine_, hint);
 
   // Re-probe interference over the transmissions the repaired plan uses.
   // The old oracle is retired, not destroyed: the head still references
@@ -266,6 +270,7 @@ void PollingSimulation::replan_after_death(NodeId declared) {
   for (NodeId s : repair.sectors.front().members)
     sensors_[s]->set_sector(0);
   head_->replace_plans(std::move(repair.sectors));
+  repair_plan_ = std::make_unique<RelayPlan>(std::move(repair.plan));
   last_orphaned_ = repair.orphaned.size();
   repair_gen_ = sum_generated();
   repair_del_ = head_->packets_received();

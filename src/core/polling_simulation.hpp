@@ -25,6 +25,7 @@
 #include "core/sensor_agent.hpp"
 #include "net/cluster.hpp"
 #include "net/deployment.hpp"
+#include "route/routing_engine.hpp"
 #include "sim/runtime.hpp"
 
 namespace mhp {
@@ -123,8 +124,14 @@ class PollingSimulation {
   ProtocolConfig cfg_;
   std::vector<double> rates_;
   SimRuntime rt_;
+  /// Owns the flow arenas for set-up routing and every replan; replans
+  /// warm-start from the previous plan's surviving flow.
+  route::RoutingEngine engine_;
   std::unique_ptr<ClusterTopology> topo_;
   std::unique_ptr<RelayPlan> plan_;
+  /// Latest repaired plan (kept as the warm hint for the next replan;
+  /// `plan_` itself stays put because RotatingProvider references it).
+  std::unique_ptr<RelayPlan> repair_plan_;
   std::optional<SectorPartition> partition_;
   std::unique_ptr<ChannelOracle> truth_;
   std::unique_ptr<MeasuredOracle> oracle_;

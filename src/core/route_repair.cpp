@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ack_collection.hpp"
+#include "route/routing_engine.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -10,7 +11,9 @@ namespace mhp {
 RouteRepair repair_routes(const ClusterTopology& topo,
                           const std::vector<NodeId>& dead,
                           std::vector<std::int64_t> demand,
-                          RoutingPolicy routing) {
+                          RoutingPolicy routing,
+                          route::RoutingEngine* engine,
+                          const RelayPlan* previous) {
   const std::size_t n = topo.num_sensors();
   MHP_REQUIRE(demand.size() == n, "demand size mismatch");
   std::vector<bool> alive(n, true);
@@ -44,9 +47,17 @@ RouteRepair repair_routes(const ClusterTopology& topo,
                           [](std::int64_t d) { return d > 0; }),
               "no sensor survives with a relay path");
 
-  RelayPlan plan = routing == RoutingPolicy::kShortestPath
-                       ? RelayPlan::shortest(survived, demand)
-                       : RelayPlan::balanced(survived, demand);
+  route::RoutingEngine local_engine;
+  route::RoutingEngine& eng = engine != nullptr ? *engine : local_engine;
+  // The repaired plan's surviving paths seed the re-solve's first
+  // feasibility probe; paths through dead nodes are skipped by the
+  // engine.  This never changes the solution (see RoutingEngine docs).
+  if (previous != nullptr && routing != RoutingPolicy::kShortestPath)
+    eng.set_warm_hint(&previous->all_paths());
+  RelayPlan plan(survived,
+                 routing == RoutingPolicy::kShortestPath
+                     ? eng.solve_shortest(survived, demand)
+                     : eng.solve_balanced(survived, demand));
 
   // One covering sector over the survivors, fixed cycle-0 paths.
   SectorPlan sp;

@@ -16,6 +16,10 @@
 #include "core/routing.hpp"
 #include "net/cluster.hpp"
 
+namespace mhp::route {
+class RoutingEngine;
+}
+
 namespace mhp {
 
 /// Everything a repair produces.  The caller re-probes interference over
@@ -33,9 +37,16 @@ struct RouteRepair {
 /// Re-route `topo` minus `dead`.  `demand[s]` is the per-cycle packet
 /// demand used at set-up; dead and orphaned sensors are re-solved with
 /// zero demand.  Requires at least one sensor to survive with a path.
+///
+/// `engine` (optional) solves on a caller-owned RoutingEngine so repeated
+/// repairs reuse its arenas; `previous` (optional) is the plan being
+/// repaired, whose surviving paths warm-start the balanced re-solve.
+/// Both are pure accelerators: results are identical without them.
 RouteRepair repair_routes(const ClusterTopology& topo,
                           const std::vector<NodeId>& dead,
                           std::vector<std::int64_t> demand,
-                          RoutingPolicy routing);
+                          RoutingPolicy routing,
+                          route::RoutingEngine* engine = nullptr,
+                          const RelayPlan* previous = nullptr);
 
 }  // namespace mhp

@@ -44,6 +44,12 @@ class RelayPlan {
 
   const std::vector<UnitPath>& paths(NodeId s) const { return paths_.at(s); }
 
+  /// Every sensor's path list.  Feed to RoutingEngine::set_warm_hint so a
+  /// post-fault replan starts from this plan's surviving flow.
+  const std::vector<std::vector<UnitPath>>& all_paths() const {
+    return paths_;
+  }
+
   /// The path sensor s uses in duty cycle `cycle` — weighted round-robin
   /// over its paths in proportion to their flow units (§V-D).  Sensors
   /// with one path always get it.  Requires the sensor to have demand.

@@ -45,6 +45,8 @@ struct MinMaxLoadResult {
 /// Solve min-max-load routing.  `demand[s]` >= 0 packets per duty cycle.
 /// `weight[s]` (optional, default all-1) scales sensor s's capacity:
 /// sensors with more energy may carry proportionally more load.
+/// Defined in src/route/shims.cpp as a forwarder onto
+/// route::RoutingEngine, which owns the solver implementation.
 MinMaxLoadResult solve_min_max_load(
     const ClusterTopology& topo, const std::vector<std::int64_t>& demand,
     const std::vector<std::int64_t>& weight = {},

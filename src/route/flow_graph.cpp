@@ -1,0 +1,83 @@
+#include "route/flow_graph.hpp"
+
+#include "util/assertx.hpp"
+
+namespace mhp::route {
+
+void FlowGraph::reset(int num_nodes) {
+  MHP_REQUIRE(num_nodes >= 0, "negative node count");
+  num_nodes_ = num_nodes;
+  from_.clear();
+  to_.clear();
+  cap_.clear();
+  cap_init_.clear();
+  csr_built_ = false;
+}
+
+int FlowGraph::add_arc(int u, int v, Cap cap) {
+  MHP_REQUIRE(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+              "arc endpoint out of range");
+  MHP_REQUIRE(cap >= 0, "negative capacity");
+  MHP_REQUIRE(!csr_built_, "arc added after build_csr");
+  const int e = num_arcs();
+  from_.push_back(u);
+  to_.push_back(v);
+  cap_.push_back(cap);
+  cap_init_.push_back(cap);
+  // Residual twin.
+  from_.push_back(v);
+  to_.push_back(u);
+  cap_.push_back(0);
+  cap_init_.push_back(0);
+  return e;
+}
+
+void FlowGraph::build_csr() {
+  MHP_REQUIRE(!csr_built_, "build_csr called twice");
+  const std::size_t m = to_.size();
+  csr_begin_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) ++csr_begin_[from_[e] + 1];
+  for (int v = 0; v < num_nodes_; ++v) csr_begin_[v + 1] += csr_begin_[v];
+  // Counting sort by tail node, ascending arc id within each node: the
+  // per-node sequence matches push_back insertion order exactly.
+  csr_arcs_.resize(m);
+  csr_cursor_.assign(csr_begin_.begin(), csr_begin_.end());
+  for (std::size_t e = 0; e < m; ++e)
+    csr_arcs_[static_cast<std::size_t>(csr_cursor_[from_[e]]++)] =
+        static_cast<std::int32_t>(e);
+  csr_built_ = true;
+}
+
+void FlowGraph::push(int e, Cap amount) {
+  MHP_REQUIRE(e >= 0 && e < num_arcs(), "arc out of range");
+  MHP_REQUIRE(amount >= 0 && amount <= cap_[static_cast<std::size_t>(e)],
+              "push exceeds residual");
+  cap_[static_cast<std::size_t>(e)] -= amount;
+  cap_[static_cast<std::size_t>(e ^ 1)] += amount;
+}
+
+void FlowGraph::set_capacity(int e, Cap cap) {
+  MHP_REQUIRE(e >= 0 && e < num_arcs() && (e % 2) == 0,
+              "capacity only settable on forward arcs");
+  MHP_REQUIRE(cap >= 0, "negative capacity");
+  cap_init_[static_cast<std::size_t>(e)] = cap;
+}
+
+void FlowGraph::install_flow(std::span<const Cap> fwd) {
+  MHP_REQUIRE(fwd.size() * 2 == to_.size(), "flow snapshot size mismatch");
+  for (std::size_t k = 0; k < fwd.size(); ++k) {
+    const Cap f = fwd[k];
+    MHP_REQUIRE(f >= 0 && f <= cap_init_[2 * k],
+                "installed flow exceeds capacity");
+    cap_[2 * k] = cap_init_[2 * k] - f;
+    cap_[2 * k + 1] = f;
+  }
+}
+
+void FlowGraph::save_flow(std::vector<Cap>& fwd) const {
+  fwd.resize(to_.size() / 2);
+  for (std::size_t k = 0; k < fwd.size(); ++k)
+    fwd[k] = cap_init_[2 * k] - cap_[2 * k];
+}
+
+}  // namespace mhp::route

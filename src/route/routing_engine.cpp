@@ -1,0 +1,555 @@
+#include "route/routing_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assertx.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mhp::route {
+
+namespace {
+
+using Cap = FlowGraph::Cap;
+
+/// Node layout inside the flow network for n sensors:
+///   source = 0, sink t = 1, input(s) = 2 + 2s, output(s) = 3 + 2s.
+struct Layout {
+  static int source() { return 0; }
+  static int sink() { return 1; }
+  static int input(NodeId s) { return 2 + 2 * static_cast<int>(s); }
+  static int output(NodeId s) { return 3 + 2 * static_cast<int>(s); }
+  static bool is_input(int v) { return v >= 2 && (v - 2) % 2 == 0; }
+  static NodeId sensor_of(int v) { return static_cast<NodeId>((v - 2) / 2); }
+};
+
+}  // namespace
+
+void RoutingEngine::build_network(const ClusterTopology& topo,
+                                  const std::vector<Cap>& demand,
+                                  const std::vector<Cap>& weight) {
+  const std::size_t n = topo.num_sensors();
+  g_.reset(2 + 2 * static_cast<int>(n));
+  demand_arc_.assign(n, -1);
+  capacity_arc_.assign(n, -1);
+  sink_arc_.assign(n, -1);
+  for (NodeId s = 0; s < n; ++s) {
+    if (demand[s] > 0)
+      demand_arc_[s] = static_cast<std::int32_t>(
+          g_.add_arc(Layout::source(), Layout::input(s), demand[s]));
+    // Capacity δ·w is set per probe via set_capacity.
+    capacity_arc_[s] = static_cast<std::int32_t>(
+        g_.add_arc(Layout::input(s), Layout::output(s), weight[s]));
+    if (topo.head_hears(s))
+      sink_arc_[s] = static_cast<std::int32_t>(
+          g_.add_arc(Layout::output(s), Layout::sink(), FlowGraph::kInfinite));
+  }
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b : topo.sensor_links().neighbors(a))
+      g_.add_arc(Layout::output(a), Layout::input(b), FlowGraph::kInfinite);
+  g_.build_csr();
+}
+
+int RoutingEngine::find_link_arc(NodeId a, NodeId b) const {
+  const int target = Layout::input(b);
+  for (const int e : g_.arcs_out(Layout::output(a)))
+    if ((e % 2) == 0 && g_.arc_to(e) == target) return e;
+  return -1;
+}
+
+FlowGraph::Cap RoutingEngine::prime_from_hint(
+    const std::vector<std::vector<UnitPath>>& hint) {
+  const std::size_t n = capacity_arc_.size();
+  Cap primed = 0;
+  std::vector<int> arcs;
+  for (std::size_t s = 0; s < hint.size() && s < n; ++s) {
+    if (demand_arc_[s] < 0) continue;
+    for (const UnitPath& p : hint[s]) {
+      // hops = {s, relays..., head}; the head hop maps to the last relay's
+      // sink arc, every relay hop to a link arc plus its capacity arc.
+      if (p.hops.size() < 2 || p.hops.front() != static_cast<NodeId>(s))
+        continue;
+      arcs.clear();
+      arcs.push_back(demand_arc_[s]);
+      arcs.push_back(capacity_arc_[s]);
+      bool ok = true;
+      for (std::size_t i = 0; i + 2 < p.hops.size(); ++i) {
+        const NodeId b = p.hops[i + 1];
+        if (b >= n) {
+          ok = false;
+          break;
+        }
+        const int link = find_link_arc(p.hops[i], b);
+        if (link < 0) {
+          ok = false;
+          break;
+        }
+        arcs.push_back(link);
+        arcs.push_back(capacity_arc_[b]);
+      }
+      if (!ok) continue;
+      const NodeId last_relay = p.hops[p.hops.size() - 2];
+      if (last_relay >= n || sink_arc_[last_relay] < 0) continue;
+      arcs.push_back(sink_arc_[last_relay]);
+      Cap units = p.units;
+      for (const int e : arcs) units = std::min(units, g_.residual(e));
+      if (units <= 0) continue;
+      for (const int e : arcs) g_.push(e, units);
+      primed += units;
+    }
+  }
+  return primed;
+}
+
+FlowGraph::Cap RoutingEngine::augment() {
+  return policy_.algo == MaxFlowAlgo::kEdmondsKarp ? augment_edmonds_karp()
+                                                   : augment_dinic();
+}
+
+FlowGraph::Cap RoutingEngine::augment_edmonds_karp() {
+  const int s = Layout::source();
+  const int t = Layout::sink();
+  Cap total = 0;
+  auto& pred_arc = level_;  // -1 unvisited, -2 source, else arc into node
+  for (;;) {
+    // BFS for a shortest augmenting path in the residual graph.
+    pred_arc.assign(static_cast<std::size_t>(g_.num_nodes()), -1);
+    queue_.clear();
+    queue_.push_back(s);
+    pred_arc[s] = -2;
+    bool found = false;
+    for (std::size_t head = 0; head < queue_.size() && !found; ++head) {
+      const int v = queue_[head];
+      for (const int e : g_.arcs_out(v)) {
+        const int w = g_.arc_to(e);
+        if (pred_arc[w] == -1 && g_.residual(e) > 0) {
+          pred_arc[w] = e;
+          if (w == t) {
+            found = true;
+            break;
+          }
+          queue_.push_back(w);
+        }
+      }
+    }
+    if (!found) return total;
+    Cap bottleneck = FlowGraph::kInfinite;
+    for (int v = t; v != s;) {
+      const int e = pred_arc[v];
+      bottleneck = std::min(bottleneck, g_.residual(e));
+      v = g_.arc_from(e);
+    }
+    for (int v = t; v != s;) {
+      const int e = pred_arc[v];
+      g_.push(e, bottleneck);
+      v = g_.arc_from(e);
+    }
+    total += bottleneck;
+  }
+}
+
+bool RoutingEngine::dinic_bfs() {
+  const int s = Layout::source();
+  const int t = Layout::sink();
+  level_.assign(static_cast<std::size_t>(g_.num_nodes()), -1);
+  queue_.clear();
+  level_[s] = 0;
+  queue_.push_back(s);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const int v = queue_[head];
+    for (const int e : g_.arcs_out(v)) {
+      const int w = g_.arc_to(e);
+      if (level_[w] < 0 && g_.residual(e) > 0) {
+        level_[w] = level_[v] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+FlowGraph::Cap RoutingEngine::dinic_dfs(int v, Cap limit) {
+  if (v == Layout::sink()) return limit;
+  const auto arcs = g_.arcs_out(v);
+  for (auto& i = iter_[static_cast<std::size_t>(v)]; i < arcs.size(); ++i) {
+    const int e = arcs[i];
+    const int w = g_.arc_to(e);
+    if (g_.residual(e) <= 0 || level_[w] != level_[v] + 1) continue;
+    const Cap pushed = dinic_dfs(w, std::min(limit, g_.residual(e)));
+    if (pushed > 0) {
+      g_.push(e, pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+FlowGraph::Cap RoutingEngine::augment_dinic() {
+  Cap total = 0;
+  while (dinic_bfs()) {
+    iter_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
+    for (;;) {
+      const Cap pushed = dinic_dfs(Layout::source(), FlowGraph::kInfinite);
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+bool RoutingEngine::cancel_one_cycle() {
+  const auto n = static_cast<std::size_t>(g_.num_nodes());
+  color_.assign(n, 0);      // 0 white, 1 gray, 2 black
+  entry_arc_.assign(n, -1); // DFS tree arc into each gray node
+
+  // Iterative DFS frame: node + index into its arc list.
+  struct Frame {
+    int v;
+    std::size_t i;
+  };
+
+  auto flows = [&](int e) {
+    return (e % 2) == 0 && remaining_[static_cast<std::size_t>(e)] > 0;
+  };
+
+  for (int root = 0; root < g_.num_nodes(); ++root) {
+    if (color_[static_cast<std::size_t>(root)] != 0) continue;
+    std::vector<Frame> stack{{root, 0}};
+    color_[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      const auto arcs = g_.arcs_out(v);
+      bool descended = false;
+      for (; i < arcs.size(); ++i) {
+        const int e = arcs[i];
+        if (!flows(e)) continue;
+        const int w = g_.arc_to(e);
+        if (color_[static_cast<std::size_t>(w)] == 1) {
+          // Back arc: cycle w → … → v → w.
+          std::vector<int> cycle{e};
+          for (int u = v; u != w; u = g_.arc_from(entry_arc_[u]))
+            cycle.push_back(entry_arc_[u]);
+          Cap m = FlowGraph::kInfinite;
+          for (const int ce : cycle)
+            m = std::min(m, remaining_[static_cast<std::size_t>(ce)]);
+          for (const int ce : cycle)
+            remaining_[static_cast<std::size_t>(ce)] -= m;
+          return true;
+        }
+        if (color_[static_cast<std::size_t>(w)] == 0) {
+          color_[static_cast<std::size_t>(w)] = 1;
+          entry_arc_[w] = e;
+          ++i;
+          stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color_[static_cast<std::size_t>(v)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+void RoutingEngine::cancel_cycles() {
+  // Cycle flow is redundant: removing it preserves value and conservation.
+  while (cancel_one_cycle()) {
+  }
+}
+
+void RoutingEngine::decompose(const ClusterTopology& topo,
+                              const std::vector<Cap>& demand,
+                              MinMaxLoadResult& result) {
+  const std::size_t n = topo.num_sensors();
+  // remaining_[e]: undistributed flow on forward arc e.  The sink has no
+  // outgoing forward flow, so cancel_cycles never touches s→…→t paths'
+  // net balance at the terminals.
+  remaining_.assign(static_cast<std::size_t>(g_.num_arcs()), 0);
+  for (int e = 0; e < g_.num_arcs(); e += 2)
+    remaining_[static_cast<std::size_t>(e)] = g_.flow(e);
+  cancel_cycles();
+
+  // Monotone per-node cursors: remaining_ only decreases during the walk,
+  // so skipping permanently-drained arcs returns the same first-positive
+  // arc a full rescan would.
+  cursor_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
+  auto next_arc = [&](int v) -> int {
+    const auto arcs = g_.arcs_out(v);
+    auto& c = cursor_[static_cast<std::size_t>(v)];
+    while (c < arcs.size()) {
+      const int e = arcs[c];
+      if ((e % 2) == 0 && remaining_[static_cast<std::size_t>(e)] > 0)
+        return e;
+      ++c;
+    }
+    return -1;
+  };
+
+  for (NodeId s = 0; s < n; ++s) {
+    Cap left = demand[s];
+    while (left > 0) {
+      // One unit path: input(s) → … → sink.  The source→input(s) unit is
+      // consumed implicitly through `left`.
+      std::vector<NodeId> hops{s};
+      int v = Layout::input(s);
+      int steps = 0;
+      while (v != Layout::sink()) {
+        const int e = next_arc(v);
+        MHP_ENSURE(e >= 0, "flow decomposition stuck (conservation broken)");
+        MHP_ENSURE(++steps <= g_.num_arcs(),
+                   "flow decomposition loop (cycle survived cancellation)");
+        remaining_[static_cast<std::size_t>(e)] -= 1;
+        v = g_.arc_to(e);
+        if (Layout::is_input(v) && v != Layout::input(s))
+          hops.push_back(Layout::sensor_of(v));
+      }
+      hops.push_back(topo.head());
+      // Merge with an identical existing path if any.
+      auto& list = result.paths[s];
+      auto it = std::find_if(list.begin(), list.end(), [&](const UnitPath& p) {
+        return p.hops == hops;
+      });
+      if (it != list.end())
+        it->units += 1;
+      else
+        list.push_back(UnitPath{std::move(hops), 1});
+      left -= 1;
+    }
+  }
+
+  for (const auto& plist : result.paths) {
+    for (const auto& p : plist) {
+      // Every hop except the head transmits the packet `units` times.
+      for (std::size_t i = 0; i + 1 < p.hops.size(); ++i)
+        result.load[p.hops[i]] += p.units;
+    }
+  }
+}
+
+MinMaxLoadResult RoutingEngine::solve_balanced(
+    const ClusterTopology& topo, const std::vector<std::int64_t>& demand,
+    const std::vector<std::int64_t>& weight) {
+  const auto* hint = hint_;
+  hint_ = nullptr;  // one-shot, consumed even on early return
+  stats_ = {};
+
+  const std::size_t n = topo.num_sensors();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+  weight_ = weight;
+  if (weight_.empty()) weight_.assign(n, 1);
+  MHP_REQUIRE(weight_.size() == n, "weight size mismatch");
+  for (NodeId s = 0; s < n; ++s) {
+    MHP_REQUIRE(demand[s] >= 0, "negative demand");
+    MHP_REQUIRE(weight_[s] >= 1, "weights must be >= 1");
+  }
+
+  MinMaxLoadResult result;
+  result.paths.assign(n, {});
+  result.load.assign(n, 0);
+  const Cap total = std::accumulate(demand.begin(), demand.end(), Cap{0});
+  if (total == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Demand from a sensor with no relay path can never be routed.
+  for (NodeId s = 0; s < n; ++s)
+    if (demand[s] > 0 && topo.level(s) == ClusterTopology::kUnreachable)
+      return result;  // infeasible
+
+  build_network(topo, demand, weight_);
+  have_base_ = false;
+  base_value_ = 0;
+
+  // Analytic δ floor (never above δ*, so it only trims the search): all
+  // flow crosses first-level capacity arcs (Σ δ·w must cover total) and
+  // each sensor's own demand crosses its capacity arc (δ·wₛ ≥ demandₛ).
+  Cap fl_weight = 0;
+  for (NodeId s = 0; s < n; ++s)
+    if (topo.head_hears(s)) fl_weight += weight_[s];
+  Cap lb = fl_weight > 0 ? (total + fl_weight - 1) / fl_weight : 1;
+  for (NodeId s = 0; s < n; ++s)
+    if (demand[s] > 0)
+      lb = std::max(lb, (demand[s] + weight_[s] - 1) / weight_[s]);
+  if (lb < 1) lb = 1;
+  stats_.delta_lower_bound = lb;
+
+  const bool warm = policy_.warm_start;
+  const auto set_caps = [&](Cap delta) {
+    for (NodeId s = 0; s < n; ++s)
+      g_.set_capacity(capacity_arc_[s], delta * weight_[s]);
+  };
+
+  // A warm hint is only a feasibility head start: pre-push its still-valid
+  // unit paths and keep them as the first warm base.
+  if (warm && hint != nullptr) {
+    set_caps(lb);
+    g_.clear_flow();
+    const Cap primed = prime_from_hint(*hint);
+    stats_.hint_units = primed;
+    if (primed > 0) {
+      g_.save_flow(base_flow_);
+      have_base_ = true;
+      base_value_ = primed;
+    }
+  }
+
+  // Probe δ and return the max-flow value there.  Warm probes extend the
+  // base flow (the max flow of the largest infeasible δ so far — valid
+  // here because capacities only grow with δ); the value they converge to
+  // is unique even though the flow assignment is not, so feasibility
+  // answers — and hence δ* — match the cold search exactly.  Feasible
+  // from-zero probes save their flow: it is exactly the solve the
+  // decomposition contract calls for, so the final step can reuse it.
+  Cap final_delta = 0;
+  const auto probe = [&](Cap delta) {
+    set_caps(delta);
+    Cap value = 0;
+    const bool from_zero = !(warm && have_base_);
+    if (from_zero) {
+      g_.clear_flow();
+      ++stats_.cold_solves;
+    } else {
+      g_.install_flow(base_flow_);
+      value = base_value_;
+    }
+    value += augment();
+    ++stats_.probes;
+    if (value >= total) {
+      if (from_zero) {
+        g_.save_flow(final_flow_);
+        final_delta = delta;
+      }
+    } else if (warm) {
+      g_.save_flow(base_flow_);
+      have_base_ = true;
+      base_value_ = value;
+    }
+    return value;
+  };
+
+  // Exponential search for a feasible δ from the floor, then binary
+  // search the minimum.
+  Cap hi = lb;
+  Cap lo = lb;
+  while (probe(hi) < total) {
+    MHP_ENSURE(hi <= total * 2,
+               "min-max-load search diverged: delta=" + std::to_string(hi) +
+                   " infeasible with total demand " + std::to_string(total));
+    lo = hi + 1;
+    hi *= 2;
+  }
+  while (lo < hi) {
+    const Cap mid = lo + (hi - lo) / 2;
+    if (probe(mid) >= total)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  stats_.delta_star = hi;
+
+  // Decomposition contract: the flow decomposed is always the one
+  // from-zero solve at δ*.  Cold mode probed δ* from zero (the search
+  // only ever lowers hi to a probed feasible δ), and a warm search whose
+  // very first probe won at the analytic floor ran that same solve
+  // already; otherwise warm mode runs it now.  Either way both modes —
+  // and the legacy solver — decompose byte-identical flows.
+  set_caps(hi);
+  if (final_delta == hi) {
+    g_.install_flow(final_flow_);
+  } else {
+    MHP_ENSURE(warm, "final flow lost feasibility");
+    g_.clear_flow();
+    const Cap final_value = augment();
+    ++stats_.cold_solves;
+    MHP_ENSURE(final_value >= total, "final flow lost feasibility");
+  }
+
+  result.feasible = true;
+  result.max_load = hi;
+  decompose(topo, demand, result);
+  return result;
+}
+
+MinMaxLoadResult RoutingEngine::solve_shortest(
+    const ClusterTopology& topo, const std::vector<std::int64_t>& demand) {
+  stats_ = {};
+  hint_ = nullptr;
+  const std::size_t n = topo.num_sensors();
+  MHP_REQUIRE(demand.size() == n, "demand size mismatch");
+  MinMaxLoadResult result;
+  result.paths.assign(n, {});
+  result.load.assign(n, 0);
+
+  // Parent of each sensor: the lowest-id neighbor one level closer (or the
+  // head for first-level sensors).
+  std::vector<NodeId> parent(n, kNoNode);
+  for (NodeId s = 0; s < n; ++s) {
+    if (topo.level(s) == ClusterTopology::kUnreachable) {
+      if (demand[s] > 0) return result;  // infeasible
+      continue;
+    }
+    if (topo.head_hears(s)) {
+      parent[s] = topo.head();
+      continue;
+    }
+    for (NodeId nb : topo.sensor_links().neighbors(s)) {
+      if (topo.level(nb) + 1 == topo.level(s)) {
+        parent[s] = nb;
+        break;
+      }
+    }
+    MHP_ENSURE(parent[s] != kNoNode, "level structure inconsistent");
+  }
+
+  for (NodeId s = 0; s < n; ++s) {
+    if (demand[s] == 0) continue;
+    std::vector<NodeId> hops{s};
+    NodeId v = s;
+    while (v != topo.head()) {
+      v = parent[v];
+      hops.push_back(v);
+    }
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i)
+      result.load[hops[i]] += demand[s];
+    result.paths[s].push_back(UnitPath{std::move(hops), demand[s]});
+  }
+  result.feasible = true;
+  result.max_load =
+      *std::max_element(result.load.begin(), result.load.end());
+  return result;
+}
+
+MinMaxLoadResult RoutingEngine::solve(SolveKind kind,
+                                      const ClusterTopology& topo,
+                                      const std::vector<std::int64_t>& demand,
+                                      const std::vector<std::int64_t>& weight) {
+  return kind == SolveKind::kShortestPath ? solve_shortest(topo, demand)
+                                          : solve_balanced(topo, demand, weight);
+}
+
+std::vector<MinMaxLoadResult> solve_clusters(
+    std::span<const ClusterRouteJob> jobs, std::size_t workers,
+    SolvePolicy policy) {
+  std::vector<MinMaxLoadResult> results(jobs.size());
+  const auto solve_one = [&](std::size_t i) {
+    const ClusterRouteJob& job = jobs[i];
+    MHP_REQUIRE(job.topo != nullptr, "cluster route job without topology");
+    RoutingEngine engine(policy);
+    results[i] = engine.solve(job.kind, *job.topo, job.demand, job.weight);
+  };
+  if (jobs.size() <= 1 || workers == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
+    return results;
+  }
+  // Result slots are indexed by job, so scheduling order cannot reorder
+  // or interleave outputs: any worker count yields identical results.
+  ThreadPool pool(workers == 0 ? 0 : std::min(workers, jobs.size()));
+  pool.parallel_for(jobs.size(), solve_one);
+  return results;
+}
+
+}  // namespace mhp::route

@@ -43,6 +43,7 @@ namespace {
 RuntimeOptions runtime_options(const Scenario& s) {
   RuntimeOptions rt;
   rt.trace_max_entries = s.trace_max_entries;
+  rt.route_workers = s.route_workers;
   return rt;
 }
 

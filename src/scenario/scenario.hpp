@@ -117,6 +117,9 @@ struct Scenario {
   RunSpec run;
   /// "runtime" section (SimRuntime substrate knobs expressible in JSON).
   std::size_t trace_max_entries = Trace::kDefaultMaxEntries;
+  /// Worker threads for per-cluster routing solves (multi_cluster stack;
+  /// 0 = all cores).  Reports are byte-identical for any value.
+  std::size_t route_workers = 1;
   /// polling / multi_cluster stacks; carries the fault plan and recovery
   /// config parsed from the top-level "faults" / "recovery" sections.
   ProtocolConfig protocol;

@@ -208,7 +208,9 @@ obs::Json scenario_to_json(const Scenario& s) {
   doc.set("traffic", dump_traffic(s.traffic));
   doc.set("run", dump_run(s.run));
   doc.set("runtime",
-          Json::object().set("trace_max_entries", Json(s.trace_max_entries)));
+          Json::object()
+              .set("trace_max_entries", Json(s.trace_max_entries))
+              .set("route_workers", Json(s.route_workers)));
   if (s.stack != StackKind::kSmac) {
     doc.set("protocol", dump_protocol(s.protocol));
     doc.set("recovery", dump_recovery(s.protocol.recovery));

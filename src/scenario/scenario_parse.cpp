@@ -186,6 +186,7 @@ void parse_runtime(const obs::Json& node, const std::string& path,
                    Scenario& out) {
   ObjectReader r(node, path);
   r.read_int("trace_max_entries", out.trace_max_entries);
+  r.read_int("route_workers", out.route_workers);
   r.finish();
   if (out.trace_max_entries == 0)
     fail(path + ".trace_max_entries", "must be >= 1");

@@ -265,5 +265,95 @@ TEST(CachedOracle, BindCountersTalliesIntoRegistry) {
   EXPECT_EQ(m.counter("oracle.cache_hit").value(), 2u);
 }
 
+// ---------- CachedOracle pair screen ----------
+
+// Three link clusters on a line: 0→1 and 2→3 collide (20 m apart with an
+// 50 m disc), while 4→5 and 6→7 are hundreds of meters clear of everyone.
+std::vector<Vec2> screen_positions() {
+  return {{0, 0},    {10, 0},   {20, 0},   {30, 0},
+          {500, 0},  {510, 0},  {1000, 0}, {1010, 0}};
+}
+
+TEST(CachedOracle, PairScreenRejectsSupersetsOfCachedFalsePairs) {
+  const DiscModelOracle truth(screen_positions(), 50.0, 3);
+  const CachedOracle cached(truth, CachedOracle::PairScreen::kOn);
+  const Tx bad_a{0, 1}, bad_b{2, 3}, clear_a{4, 5}, clear_b{6, 7};
+
+  EXPECT_FALSE(cached.compatible(std::vector<Tx>{bad_a, bad_b}));
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.screened(), 0u);  // pairs themselves are never screened
+
+  // A triple containing the cached-false pair is rejected by the screen
+  // alone: a hit with no inner call and no new memo entry.  The verdict
+  // matches the inner oracle (disc interference is monotone in the
+  // transmitter set).
+  const std::vector<Tx> triple{bad_a, bad_b, clear_a};
+  EXPECT_FALSE(truth.compatible(triple));
+  EXPECT_FALSE(cached.compatible(triple));
+  EXPECT_EQ(cached.hits(), 1u);
+  EXPECT_EQ(cached.screened(), 1u);
+  EXPECT_EQ(cached.misses(), 1u);
+  EXPECT_EQ(cached.size(), 1u);
+
+  // Screened groups are not memoized, so the screen answers every repeat.
+  EXPECT_FALSE(cached.compatible(triple));
+  EXPECT_EQ(cached.screened(), 2u);
+
+  // A triple with no cached-false pair inside goes to the inner oracle.
+  EXPECT_TRUE(cached.compatible(std::vector<Tx>{bad_a, clear_a, clear_b}));
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(cached.screened(), 2u);
+}
+
+TEST(CachedOracle, PairScreenDefaultsOffAndHitRateAccountsScreens) {
+  const DiscModelOracle truth(screen_positions(), 50.0, 3);
+  const CachedOracle plain(truth);  // screen off: triples always miss
+  EXPECT_DOUBLE_EQ(plain.hit_rate(), 0.0);  // defined before any query
+  const Tx bad_a{0, 1}, bad_b{2, 3}, clear_a{4, 5};
+  const std::vector<Tx> triple{bad_a, bad_b, clear_a};
+  EXPECT_FALSE(plain.compatible(std::vector<Tx>{bad_a, bad_b}));
+  EXPECT_FALSE(plain.compatible(triple));
+  EXPECT_EQ(plain.screened(), 0u);
+  EXPECT_EQ(plain.misses(), 2u);
+  EXPECT_DOUBLE_EQ(plain.hit_rate(), 0.0);
+
+  const CachedOracle screened(truth, CachedOracle::PairScreen::kOn);
+  EXPECT_FALSE(screened.compatible(std::vector<Tx>{bad_a, bad_b}));
+  EXPECT_FALSE(screened.compatible(triple));  // screen hit
+  EXPECT_DOUBLE_EQ(screened.hit_rate(), 0.5);  // 1 hit / (1 hit + 1 miss)
+}
+
+TEST(CachedOracle, PairScreenLiftsHitRateOnGreedyStyleWorkload) {
+  // The greedy scheduler probes a growing group's prefixes before the
+  // full group; replay that shape — pair first, then its triple — over
+  // random links and require the screen to convert would-be misses into
+  // hits without changing a single verdict.
+  Rng rng(17);
+  std::vector<Vec2> pos;
+  for (int i = 0; i < 24; ++i)
+    pos.push_back({rng.uniform(0.0, 300.0), rng.uniform(0.0, 300.0)});
+  const DiscModelOracle truth(pos, 80.0, 3);
+  const CachedOracle plain(truth);
+  const CachedOracle screened(truth, CachedOracle::PairScreen::kOn);
+
+  const auto random_tx = [&rng] {
+    const auto from = static_cast<NodeId>(rng.uniform(0.0, 23.99));
+    const auto to =
+        (from + 1 + static_cast<NodeId>(rng.uniform(0.0, 22.99))) % 24;
+    return Tx{from, to};
+  };
+  for (int i = 0; i < 300; ++i) {
+    const Tx a = random_tx(), b = random_tx(), c = random_tx();
+    for (const TxGroup& g :
+         {std::vector<Tx>{a, b}, std::vector<Tx>{a, b, c}}) {
+      const bool want = truth.compatible(g);
+      EXPECT_EQ(plain.compatible(g), want);
+      EXPECT_EQ(screened.compatible(g), want);
+    }
+  }
+  EXPECT_GT(screened.screened(), 0u);
+  EXPECT_GT(screened.hit_rate(), plain.hit_rate());
+}
+
 }  // namespace
 }  // namespace mhp

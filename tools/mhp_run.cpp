@@ -82,8 +82,13 @@ int validate_only(const std::vector<std::string>& paths) {
   return bad == 0 ? 0 : 1;
 }
 
-int run_one(const std::string& path, const std::string& out) {
-  const scenario::Scenario s = scenario::parse_scenario_text(read_file(path));
+int run_one(const std::string& path, const std::string& out,
+            const std::string& workers) {
+  scenario::Scenario s = scenario::parse_scenario_text(read_file(path));
+  // --workers on a single run overrides the scenario's routing worker
+  // count (reports are byte-identical for any value).
+  if (!workers.empty())
+    s.route_workers = static_cast<std::size_t>(std::stoul(workers));
   const obs::Json report = scenario::run_scenario(s);
   if (out.empty()) {
     std::printf("%s\n", report.dump(2).c_str());
@@ -120,7 +125,9 @@ int main(int argc, char** argv) {
       .flag("--campaign", "treat the input as a campaign file")
       .option("--out", "FILE", "write the scenario report here")
       .option("--out-dir", "DIR", "campaign output directory (default: .)")
-      .option("--workers", "N", "campaign worker threads (0 = all cores)")
+      .option("--workers", "N",
+              "campaign worker threads, or routing workers for a single "
+              "run (0 = all cores)")
       .positional("file", 0, 64);
   flags.parse(argc, argv);
 
@@ -149,7 +156,8 @@ int main(int argc, char** argv) {
                                static_cast<std::size_t>(
                                    std::stoul(workers)));
     }
-    return run_one(flags.args().front(), flags.value("--out"));
+    return run_one(flags.args().front(), flags.value("--out"),
+                   flags.value("--workers", ""));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mhp_run: %s\n", e.what());
     return 1;
