@@ -18,6 +18,9 @@
 //   --baseline <path>     after running, compare the n=200 tx/sec and
 //                         per-phase times against the floor/budgets
 //                         recorded in <path>; exit 1 on regression
+//   --profile-out <path>  record profiler spans across all points and
+//                         write Chrome trace-event JSON here; also fills
+//                         the span_*_ms columns (0 when not profiling)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +36,7 @@
 #include "exp/csv_out.hpp"
 #include "net/deployment.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 #include "route/routing_engine.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
@@ -64,10 +68,16 @@ struct Result {
   double polling_ms = 0.0;
   double tx_per_sec = 0.0;
   double cache_hit_rate = 0.0;
+  long long screened = 0;  // pair-screen rejections (subset of hits)
   double floor_tx_per_sec = 0.0;
   double budget_topo_ms = 0.0;
   double budget_routing_ms = 0.0;
   double budget_polling_ms = 0.0;
+  /// Span-attributed per-phase wall time from the profiler (the
+  /// "bench/*" spans below); 0 when not run under --profile-out.
+  double span_topo_ms = 0.0;     // per grid rep
+  double span_routing_ms = 0.0;  // production warm-start solve
+  double span_polling_ms = 0.0;  // offline greedy cycle
 };
 
 constexpr double kSensorRange = 60.0;
@@ -93,8 +103,10 @@ Result run_point(const Point& p) {
   const int brute_reps = p.sensors > 300 ? 3 : 10;
   std::size_t edges_grid = 0, edges_brute = 0;
   auto t0 = Clock::now();
-  for (int r = 0; r < grid_reps; ++r)
+  for (int r = 0; r < grid_reps; ++r) {
+    MHP_SPAN("bench/topology");
     edges_grid = disc_topology(dep, kSensorRange).sensor_links().edge_count();
+  }
   out.topo_grid_ms = ms_since(t0) / grid_reps;
   if (reference) {
     t0 = Clock::now();
@@ -115,7 +127,10 @@ Result run_point(const Point& p) {
   const std::vector<std::int64_t> demand(p.sensors, 1);
   route::RoutingEngine engine;
   t0 = Clock::now();
-  MinMaxLoadResult solution = engine.solve_balanced(topo, demand);
+  MinMaxLoadResult solution = [&] {
+    MHP_SPAN("bench/routing");
+    return engine.solve_balanced(topo, demand);
+  }();
   out.routing_ms = ms_since(t0);
   if (reference) {
     route::RoutingEngine cold({MaxFlowAlgo::kDinic, /*warm_start=*/false});
@@ -140,7 +155,10 @@ Result run_point(const Point& p) {
   const DiscModelOracle truth(dep.positions, kSensorRange, 3);
   const CachedOracle cached(truth, CachedOracle::PairScreen::kOn);
   t0 = Clock::now();
-  const OfflineRunResult run = run_offline(cached, paths);
+  const OfflineRunResult run = [&] {
+    MHP_SPAN("bench/polling");
+    return run_offline(cached, paths);
+  }();
   out.polling_ms = ms_since(t0);
   MHP_REQUIRE(run.all_delivered, "offline polling cycle did not finish");
   out.polling_slots = static_cast<long long>(run.slots);
@@ -150,6 +168,7 @@ Result run_point(const Point& p) {
                              out.polling_ms
                        : 0.0;
   out.cache_hit_rate = cached.hit_rate();
+  out.screened = static_cast<long long>(cached.screened());
   out.floor_tx_per_sec = out.tx_per_sec / 20.0;
   out.budget_topo_ms = out.topo_grid_ms * 20.0;
   out.budget_routing_ms = out.routing_ms * 20.0;
@@ -199,10 +218,13 @@ int main(int argc, char** argv) {
   using namespace mhp;
   mhp::exp::Flags flags("hot-path scaling bench (topology, routing, polling)");
   flags.flag("--smoke", "reduced point set for CI")
-      .option("--baseline", "PATH", "committed BENCH_perf.json to gate against");
+      .option("--baseline", "PATH", "committed BENCH_perf.json to gate against")
+      .option("--profile-out", "PATH",
+              "record profiler spans, write Chrome trace-event JSON here");
   flags.parse(argc, argv);
   const bool smoke = flags.has("--smoke");
   const std::string baseline_path = flags.value("--baseline");
+  const std::string profile_path = flags.value("--profile-out");
   // Parse the baseline up front: this run overwrites BENCH_perf.json in
   // the working directory, and CI points --baseline at the committed copy.
   BaselineGates gates;
@@ -227,9 +249,49 @@ int main(int argc, char** argv) {
   // Sequential on purpose: the columns are wall-clock timings and thread
   // contention would corrupt them (determinism of the *results* under
   // exp::sweep threading is pinned separately in tests/test_exp.cpp).
+  const bool profiling = !profile_path.empty();
+  obs::Profiler& prof = obs::Profiler::instance();
+  if (profiling) {
+    prof.drain();
+    prof.enable();
+  }
+  obs::ProfileData all_spans;
   std::vector<Result> results;
   results.reserve(points.size());
-  for (const Point& p : points) results.push_back(run_point(p));
+  for (const Point& p : points) {
+    results.push_back(run_point(p));
+    if (!profiling) continue;
+    // Per-point drain so the span columns attribute to this point only;
+    // events accumulate for the whole-run trace export (path ids are
+    // global intern indices, stable across drains).
+    obs::ProfileData data = prof.drain();
+    const obs::ProfileSummary sum = obs::summarize_profile(data);
+    const auto span_ms = [&sum](const char* path) {
+      const auto it = sum.spans.find(path);
+      return it == sum.spans.end()
+                 ? 0.0
+                 : it->second.total_ms /
+                       static_cast<double>(it->second.count);
+    };
+    Result& r = results.back();
+    r.span_topo_ms = span_ms("bench/topology");
+    r.span_routing_ms = span_ms("bench/routing");
+    r.span_polling_ms = span_ms("bench/polling");
+    all_spans.paths = std::move(data.paths);
+    all_spans.events.insert(all_spans.events.end(), data.events.begin(),
+                            data.events.end());
+  }
+  if (profiling) {
+    prof.disable();
+    std::ofstream trace(profile_path);
+    if (trace.is_open()) {
+      obs::chrome_trace_json(all_spans).write(trace, -1);
+      trace << '\n';
+    } else {
+      std::fprintf(stderr, "perf_scaling: cannot write %s\n",
+                   profile_path.c_str());
+    }
+  }
 
   std::printf(
       "Hot-path scaling — spatial-grid topology, warm-start routing "
@@ -239,8 +301,9 @@ int main(int argc, char** argv) {
   Table table({"sensors", "topo grid ms", "topo brute ms", "topo_speedup",
                "routing ms", "routing cold ms", "routing_speedup",
                "polling_slots", "polling tx", "polling ms", "tx_per_sec",
-               "cache_hit_rate", "floor_tx_per_sec", "budget_topo_ms",
-               "budget_routing_ms", "budget_polling_ms"});
+               "cache_hit_rate", "screened", "floor_tx_per_sec",
+               "budget_topo_ms", "budget_routing_ms", "budget_polling_ms",
+               "span_topo_ms", "span_routing_ms", "span_polling_ms"});
   table.set_precision(1, 3);
   table.set_precision(2, 3);
   table.set_precision(3, 1);
@@ -250,19 +313,23 @@ int main(int argc, char** argv) {
   table.set_precision(9, 2);
   table.set_precision(10, 0);
   table.set_precision(11, 3);
-  table.set_precision(12, 0);
-  table.set_precision(13, 1);
+  table.set_precision(13, 0);
   table.set_precision(14, 1);
   table.set_precision(15, 1);
+  table.set_precision(16, 1);
+  table.set_precision(17, 3);
+  table.set_precision(18, 2);
+  table.set_precision(19, 2);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Result& r = results[i];
     table.add_row({static_cast<long long>(points[i].sensors),
                    r.topo_grid_ms, r.topo_brute_ms, r.topo_speedup,
                    r.routing_ms, r.routing_cold_ms, r.routing_speedup,
                    r.polling_slots, r.polling_tx, r.polling_ms,
-                   r.tx_per_sec, r.cache_hit_rate, r.floor_tx_per_sec,
-                   r.budget_topo_ms, r.budget_routing_ms,
-                   r.budget_polling_ms});
+                   r.tx_per_sec, r.cache_hit_rate, r.screened,
+                   r.floor_tx_per_sec, r.budget_topo_ms,
+                   r.budget_routing_ms, r.budget_polling_ms,
+                   r.span_topo_ms, r.span_routing_ms, r.span_polling_ms});
     recorder.add_events(static_cast<std::uint64_t>(r.polling_tx));
   }
   std::printf("%s\n", table.to_ascii().c_str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/profiler.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -141,6 +142,7 @@ OfflineRunResult run_offline(const CompatibilityOracle& oracle,
                              std::span<const std::vector<NodeId>> paths,
                              const HopLossModel& loss,
                              std::size_t max_slots) {
+  MHP_SPAN("sched/run_offline");
   GreedyPollingScheduler sched(oracle);
   for (const auto& p : paths) sched.add_request(p);
 
@@ -171,12 +173,15 @@ OfflineRunResult run_offline(const CompatibilityOracle& oracle,
   result.all_delivered = true;
   result.transmissions = sched.total_attempted_transmissions();
   result.reactivations = sched.reactivations();
+  MHP_SPAN_COUNTER("slots", result.slots);
+  MHP_SPAN_COUNTER("transmissions", result.transmissions);
   return result;
 }
 
 OfflineRunResult best_of_orders(const CompatibilityOracle& oracle,
                                 std::span<const std::vector<NodeId>> paths,
                                 std::size_t restarts, Rng& rng) {
+  MHP_SPAN("sched/best_of_orders");
   OfflineRunResult best = run_offline(oracle, paths);
   std::vector<std::vector<NodeId>> order(paths.begin(), paths.end());
   for (std::size_t r = 0; r < restarts; ++r) {

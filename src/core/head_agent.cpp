@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/profiler.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -190,7 +191,12 @@ void HeadAgent::run_slot() {
     return;
   }
 
-  const auto txs = phase_.sched->plan_slot();
+  std::vector<ScheduledTx> txs;
+  {
+    MHP_SPAN("head/plan_slot");
+    txs = phase_.sched->plan_slot();
+    MHP_SPAN_COUNTER("scheduled", txs.size());
+  }
   if (txs.empty()) {
     // Every active request is held back by retry backoff: let the slot
     // pass idle and try again.  Only possible under fault recovery.
@@ -306,6 +312,7 @@ void HeadAgent::end_sector() {
 }
 
 void HeadAgent::evaluate_suspects() {
+  MHP_SPAN("head/detect");
   if (!cfg_.recovery.enabled) return;
   if (replans_ >= cfg_.recovery.max_replans) return;
   // One declaration per cycle: the strongest suspect (ties go to the

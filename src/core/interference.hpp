@@ -247,6 +247,28 @@ class CachedOracle : public CompatibilityOracle {
   Counter* miss_counter_ = nullptr;
 };
 
+/// Cache-effectiveness roll-up reports carry: one CachedOracle's tallies,
+/// or several summed — the live cache plus every wrapper retired across
+/// fault replans (multi-cluster stacks additionally sum over clusters).
+struct OracleCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t screened = 0;  // subset of hits: pair-screen rejections
+  std::uint64_t entries = 0;   // distinct memoized groups
+  void add(const CachedOracle& cache) {
+    hits += cache.hits();
+    misses += cache.misses();
+    screened += cache.screened();
+    entries += cache.size();
+  }
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+  }
+};
+
 /// The set of single-hop transmissions used by a set of relaying paths —
 /// the natural probe universe.
 std::vector<Tx> transmissions_of_paths(

@@ -6,6 +6,8 @@
 #include "core/ack_collection.hpp"
 #include "core/coloring.hpp"
 #include "core/route_repair.hpp"
+#include "obs/profiler.hpp"
+#include "sim/sampler.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -35,6 +37,7 @@ MultiClusterSimulation::MultiClusterSimulation(
 void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
                                    double rate_bps,
                                    double interference_range) {
+  MHP_SPAN("mc/setup");
   const std::size_t num_clusters = specs.size();
   rt_.adopt_propagation(std::make_unique<TwoRayGround>());
 
@@ -104,30 +107,33 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
 
   // Pass 1: per-cluster topology and routing demand (sequential — the
   // connectivity predicate probes the shared channels).
-  for (std::size_t c = 0; c < num_clusters; ++c) {
-    ClusterRt& rt = clusters_[c];
-    Channel& channel =
-        rt_.channel(static_cast<std::size_t>(placement[c].group));
-    const std::size_t n = specs[c].deployment.num_sensors();
-    const NodeId base = placement[c].base;
-    rt.num_sensors = n;
-    rt.base = base;
-    rt.head = base + static_cast<NodeId>(n);
+  {
+    MHP_SPAN("topology");
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      ClusterRt& rt = clusters_[c];
+      Channel& channel =
+          rt_.channel(static_cast<std::size_t>(placement[c].group));
+      const std::size_t n = specs[c].deployment.num_sensors();
+      const NodeId base = placement[c].base;
+      rt.num_sensors = n;
+      rt.base = base;
+      rt.head = base + static_cast<NodeId>(n);
 
-    // Local topology over this cluster's own nodes.
-    rt.topo = std::make_unique<ClusterTopology>(topology_from_predicate(
-        n, [&](NodeId a, NodeId b) {
-          return channel.link_ok(base + a, base + b);
-        }));
-    MHP_REQUIRE(rt.topo->fully_connected(), "cluster not fully connected");
+      // Local topology over this cluster's own nodes.
+      rt.topo = std::make_unique<ClusterTopology>(topology_from_predicate(
+          n, [&](NodeId a, NodeId b) {
+            return channel.link_ok(base + a, base + b);
+          }));
+      MHP_REQUIRE(rt.topo->fully_connected(), "cluster not fully connected");
 
-    const double cycle_s = cfg_.cycle_period.to_seconds();
-    rt.demand.assign(n, 0);
-    for (auto& d : rt.demand)
-      d = std::max<std::int64_t>(
-          1, static_cast<std::int64_t>(std::llround(std::ceil(
-                 rate_bps * cycle_s /
-                 static_cast<double>(cfg_.data_bytes)))));
+      const double cycle_s = cfg_.cycle_period.to_seconds();
+      rt.demand.assign(n, 0);
+      for (auto& d : rt.demand)
+        d = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::llround(std::ceil(
+                   rate_bps * cycle_s /
+                   static_cast<double>(cfg_.data_bytes)))));
+    }
   }
 
   // Pass 2: solve every cluster's balanced routing plan in one batch —
@@ -135,6 +141,7 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
   // out on route_workers threads yields byte-identical plans in cluster
   // order regardless of worker count.
   {
+    MHP_SPAN("routing");
     std::vector<route::ClusterRouteJob> jobs(num_clusters);
     for (std::size_t c = 0; c < num_clusters; ++c) {
       jobs[c].topo = clusters_[c].topo.get();
@@ -149,61 +156,64 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
 
   // Pass 3: sector/ack plans, oracles and agents (sequential: shared
   // uid source and deterministic rng-split order).
-  for (std::size_t c = 0; c < num_clusters; ++c) {
-    ClusterRt& rt = clusters_[c];
-    Channel& channel =
-        rt_.channel(static_cast<std::size_t>(placement[c].group));
-    const std::size_t n = rt.num_sensors;
-    const NodeId base = rt.base;
+  {
+    MHP_SPAN("sectors_and_agents");
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      ClusterRt& rt = clusters_[c];
+      Channel& channel =
+          rt_.channel(static_cast<std::size_t>(placement[c].group));
+      const std::size_t n = rt.num_sensors;
+      const NodeId base = rt.base;
 
-    // Global (channel-id) paths: the local head is id n, so adding the
-    // base translates sensors and head alike.
-    auto globalize = [base](std::vector<NodeId> path) {
-      for (NodeId& v : path) v = base + v;
-      return path;
-    };
-    SectorPlan sp;
-    sp.members.resize(n);
-    std::vector<std::vector<NodeId>> candidates;
-    for (NodeId s = 0; s < n; ++s) {
-      sp.members[s] = base + s;
-      auto path = globalize(rt.plan->path_for_cycle(s, 0).hops);
-      sp.data_path[base + s] = path;
-      candidates.push_back(std::move(path));
+      // Global (channel-id) paths: the local head is id n, so adding the
+      // base translates sensors and head alike.
+      auto globalize = [base](std::vector<NodeId> path) {
+        for (NodeId& v : path) v = base + v;
+        return path;
+      };
+      SectorPlan sp;
+      sp.members.resize(n);
+      std::vector<std::vector<NodeId>> candidates;
+      for (NodeId s = 0; s < n; ++s) {
+        sp.members[s] = base + s;
+        auto path = globalize(rt.plan->path_for_cycle(s, 0).hops);
+        sp.data_path[base + s] = path;
+        candidates.push_back(std::move(path));
+      }
+      const AckPlan ack = plan_ack_cover(sp.members, candidates);
+      MHP_ENSURE(ack.covers_all, "ack cover incomplete");
+      sp.ack_paths = ack.poll_paths;
+
+      std::vector<std::vector<NodeId>> all_paths = candidates;
+      for (const auto& p : sp.ack_paths) all_paths.push_back(p);
+      rt.truth = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
+      rt.oracle = std::make_unique<MeasuredOracle>(
+          *rt.truth, transmissions_of_paths(all_paths), cfg_.oracle_order);
+
+      rt.head_agent = std::make_unique<HeadAgent>(
+          rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_,
+          scheduling_oracle(rt), std::vector<SectorPlan>{sp},
+          root.split(1000 + c));
+      rt.head_agent->set_latency_histogram(&latency_hist);
+      rt.sensors.reserve(n);
+      for (NodeId s = 0; s < n; ++s) {
+        auto agent = std::make_unique<SensorAgent>(
+            base + s, rt_.sim(), channel, rt_.uids(), cfg_,
+            root.split(c * 1000 + s + 1));
+        agent->set_head(rt.head);
+        agent->set_queue_histogram(&queue_hist);
+        agent->start_sampling(rate_bps);
+        rt.sensors.push_back(std::move(agent));
+      }
+
+      // Staggered starts for token rotation; simultaneous otherwise (the
+      // worst case for the shared channel).
+      Time start = Time::ms(10);
+      if (mode_ == InterClusterMode::kToken)
+        start += Time::ns(static_cast<std::int64_t>(c) *
+                          head_cfg_.max_drain_window.nanos());
+      rt.head_agent->start(start);
     }
-    const AckPlan ack = plan_ack_cover(sp.members, candidates);
-    MHP_ENSURE(ack.covers_all, "ack cover incomplete");
-    sp.ack_paths = ack.poll_paths;
-
-    std::vector<std::vector<NodeId>> all_paths = candidates;
-    for (const auto& p : sp.ack_paths) all_paths.push_back(p);
-    rt.truth = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
-    rt.oracle = std::make_unique<MeasuredOracle>(
-        *rt.truth, transmissions_of_paths(all_paths), cfg_.oracle_order);
-
-    rt.head_agent = std::make_unique<HeadAgent>(
-        rt.head, rt_.sim(), channel, rt_.uids(), head_cfg_,
-        scheduling_oracle(rt), std::vector<SectorPlan>{sp},
-        root.split(1000 + c));
-    rt.head_agent->set_latency_histogram(&latency_hist);
-    rt.sensors.reserve(n);
-    for (NodeId s = 0; s < n; ++s) {
-      auto agent = std::make_unique<SensorAgent>(
-          base + s, rt_.sim(), channel, rt_.uids(), cfg_,
-          root.split(c * 1000 + s + 1));
-      agent->set_head(rt.head);
-      agent->set_queue_histogram(&queue_hist);
-      agent->start_sampling(rate_bps);
-      rt.sensors.push_back(std::move(agent));
-    }
-
-    // Staggered starts for token rotation; simultaneous otherwise (the
-    // worst case for the shared channel).
-    Time start = Time::ms(10);
-    if (mode_ == InterClusterMode::kToken)
-      start += Time::ns(static_cast<std::int64_t>(c) *
-                        head_cfg_.max_drain_window.nanos());
-    rt.head_agent->start(start);
   }
 
   // Fault injection: deaths keyed by field-wide sensor id.  Repair is
@@ -225,6 +235,28 @@ void MultiClusterSimulation::build(std::vector<ClusterSpec> specs,
     for (std::size_t c = 0; c < clusters_.size(); ++c)
       clusters_[c].head_agent->set_replan_handler(
           [this, c](NodeId declared) { replan_cluster(c, declared); });
+
+  // Live trajectory for the sampler, when one was requested: standard
+  // counters are only mirrored into the registry at end of run, so push
+  // the watched gauges from agent state before each tick.
+  if (MetricsSampler* sp = rt_.sampler(); sp != nullptr) {
+    sp->add_refresh_hook([this](Time now) {
+      MetricsRegistry& reg = rt_.metrics();
+      std::uint64_t alive = 0;
+      double energy = 0.0;
+      for (const auto& rt : clusters_)
+        for (const auto& s : rt.sensors) {
+          if (!s->dead()) ++alive;
+          energy += s->meter().total_energy_j();
+        }
+      reg.gauge(sample::kAliveNodes).set(now, static_cast<double>(alive));
+      reg.gauge(sample::kEnergyJ).set(now, energy);
+      reg.gauge(sample::kDelivered)
+          .set(now, static_cast<double>(sum_delivered()));
+      reg.gauge(sample::kGenerated)
+          .set(now, static_cast<double>(sum_generated()));
+    });
+  }
 }
 
 SensorAgent& MultiClusterSimulation::sensor_by_field_id(NodeId field_id) {
@@ -278,6 +310,7 @@ void MultiClusterSimulation::on_node_death(const NodeDeath& death) {
 }
 
 void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
+  MHP_SPAN("mc/replan");
   ClusterRt& rt = clusters_[c];
   MHP_REQUIRE(declared >= rt.base && declared < rt.base + rt.num_sensors,
               "head declared a node outside its cluster");
@@ -319,14 +352,27 @@ void MultiClusterSimulation::replan_cluster(std::size_t c, NodeId declared) {
 MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
   MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
   Simulator& sim = rt_.sim();
-  sim.run_until(warmup);
+  {
+    MHP_SPAN("mc/warmup");
+    sim.run_until(warmup);
+  }
   for (auto& rt : clusters_) {
     rt.head_agent->reset_stats(sim.now());
     for (auto& s : rt.sensors) s->reset_stats(sim.now());
   }
   rt_.begin_measurement();
-  sim.run_until(duration);
+  {
+    MHP_SPAN("mc/measured");
+    const std::uint64_t events_before = sim.events_executed();
+    sim.run_until(duration);
+    MHP_SPAN_COUNTER("events", sim.events_executed() - events_before);
+    MHP_SPAN_COUNTER("oracle_hits",
+                     rt_.metrics().counter(metric::kOracleCacheHit).value());
+    MHP_SPAN_COUNTER("oracle_misses",
+                     rt_.metrics().counter(metric::kOracleCacheMiss).value());
+  }
 
+  MHP_SPAN("mc/collect");
   MultiClusterReport rep;
   rep.channels_used = channels_used_;
   std::uint64_t total_generated = 0, total_delivered = 0, total_bytes = 0;
@@ -418,6 +464,15 @@ MultiClusterReport MultiClusterSimulation::run(Time duration, Time warmup) {
     m.counter("fault.deaths_detected").add(deg.deaths_detected);
     m.counter("fault.replans").add(deg.replans);
     m.counter("fault.orphaned_sensors").add(deg.orphaned_sensors);
+  }
+
+  if (cfg_.cache_oracle) {
+    OracleCacheStats oracle;
+    for (const auto& rt : clusters_) {
+      if (rt.cached != nullptr) oracle.add(*rt.cached);
+      for (const auto& retired : rt.retired_caches) oracle.add(*retired);
+    }
+    rep.oracle = oracle;
   }
 
   rep.totals = rt_.collect_run_stats(duration - warmup, cfg_.data_bytes);

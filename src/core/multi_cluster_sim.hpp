@@ -48,6 +48,10 @@ struct MultiClusterReport {
   /// ids: sensors numbered consecutively cluster by cluster, heads
   /// excluded.  Repairs happen per cluster at the owning head.
   std::optional<DegradationReport> degradation;
+  /// Field-wide oracle-cache effectiveness, summed over every cluster's
+  /// live cache plus wrappers retired by replans.  Present iff
+  /// cfg.cache_oracle.
+  std::optional<OracleCacheStats> oracle;
 };
 
 class MultiClusterSimulation {

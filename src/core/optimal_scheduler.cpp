@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "core/greedy_scheduler.hpp"
+#include "obs/profiler.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
 
 std::optional<OptimalResult> OptimalScheduler::solve(
     std::span<const PollingRequest> requests, std::size_t slot_budget) {
+  MHP_SPAN("sched/optimal");
   MHP_REQUIRE(requests.size() <= 32, "optimal solver capped at 32 requests");
   requests_ = requests;
   nodes_ = 0;

@@ -5,6 +5,8 @@
 
 #include "core/ack_collection.hpp"
 #include "core/route_repair.hpp"
+#include "obs/profiler.hpp"
+#include "sim/sampler.hpp"
 #include "util/assertx.hpp"
 
 namespace mhp {
@@ -55,6 +57,7 @@ PollingSimulation::PollingSimulation(const Deployment& deployment,
                         rt_opts) {}
 
 void PollingSimulation::setup(const Deployment& deployment) {
+  MHP_SPAN("polling/setup");
   const std::size_t n = deployment.num_sensors();
   MHP_REQUIRE(n >= 1, "need at least one sensor");
 
@@ -78,8 +81,11 @@ void PollingSimulation::setup(const Deployment& deployment) {
 
   // §V-B: the head discovers connectivity by probing, which amounts to the
   // channel's interference-free link test.
-  topo_ = std::make_unique<ClusterTopology>(topology_from_predicate(
-      n, [&channel](NodeId a, NodeId b) { return channel.link_ok(a, b); }));
+  {
+    MHP_SPAN("topology");
+    topo_ = std::make_unique<ClusterTopology>(topology_from_predicate(
+        n, [&channel](NodeId a, NodeId b) { return channel.link_ok(a, b); }));
+  }
   MHP_REQUIRE(topo_->fully_connected(),
               "cluster not fully connected; adjust deployment");
 
@@ -94,48 +100,54 @@ void PollingSimulation::setup(const Deployment& deployment) {
     demand[s] = std::max<std::int64_t>(
         1, static_cast<std::int64_t>(std::llround(std::ceil(per_cycle))));
   }
-  plan_ = std::make_unique<RelayPlan>(
-      *topo_, cfg_.routing == RoutingPolicy::kShortestPath
-                  ? engine_.solve_shortest(*topo_, demand)
-                  : engine_.solve_balanced(*topo_, demand));
+  {
+    MHP_SPAN("routing");
+    plan_ = std::make_unique<RelayPlan>(
+        *topo_, cfg_.routing == RoutingPolicy::kShortestPath
+                    ? engine_.solve_shortest(*topo_, demand)
+                    : engine_.solve_balanced(*topo_, demand));
+  }
 
   truth_ = std::make_unique<ChannelOracle>(channel, cfg_.oracle_order);
 
   // Assemble sector plans (one covering sector when sectoring is off).
   std::vector<SectorPlan> sector_plans;
   std::vector<int> sector_of(n, 0);
-  if (cfg_.use_sectors) {
-    SectorPartitioner partitioner(*topo_);
-    partition_ = partitioner.partition(*plan_, demand, truth_.get());
-    for (std::size_t k = 0; k < partition_->sectors.size(); ++k) {
+  {
+    MHP_SPAN("sectors");
+    if (cfg_.use_sectors) {
+      SectorPartitioner partitioner(*topo_);
+      partition_ = partitioner.partition(*plan_, demand, truth_.get());
+      for (std::size_t k = 0; k < partition_->sectors.size(); ++k) {
+        SectorPlan sp;
+        sp.members = partition_->sectors[k].sensors;
+        std::vector<std::vector<NodeId>> candidates;
+        for (NodeId s : sp.members) {
+          auto path = partition_->tree_path(s, topo_->head());
+          sp.data_path[s] = path;
+          candidates.push_back(std::move(path));
+        }
+        const AckPlan ack = plan_ack_cover(sp.members, candidates);
+        MHP_ENSURE(ack.covers_all, "ack cover incomplete for sector");
+        sp.ack_paths = ack.poll_paths;
+        for (NodeId s : sp.members) sector_of[s] = static_cast<int>(k);
+        sector_plans.push_back(std::move(sp));
+      }
+    } else {
       SectorPlan sp;
-      sp.members = partition_->sectors[k].sensors;
+      sp.members.resize(n);
+      for (NodeId s = 0; s < n; ++s) sp.members[s] = s;
       std::vector<std::vector<NodeId>> candidates;
-      for (NodeId s : sp.members) {
-        auto path = partition_->tree_path(s, topo_->head());
+      for (NodeId s = 0; s < n; ++s) {
+        auto path = plan_->path_for_cycle(s, 0).hops;
         sp.data_path[s] = path;
         candidates.push_back(std::move(path));
       }
       const AckPlan ack = plan_ack_cover(sp.members, candidates);
-      MHP_ENSURE(ack.covers_all, "ack cover incomplete for sector");
+      MHP_ENSURE(ack.covers_all, "ack cover incomplete");
       sp.ack_paths = ack.poll_paths;
-      for (NodeId s : sp.members) sector_of[s] = static_cast<int>(k);
       sector_plans.push_back(std::move(sp));
     }
-  } else {
-    SectorPlan sp;
-    sp.members.resize(n);
-    for (NodeId s = 0; s < n; ++s) sp.members[s] = s;
-    std::vector<std::vector<NodeId>> candidates;
-    for (NodeId s = 0; s < n; ++s) {
-      auto path = plan_->path_for_cycle(s, 0).hops;
-      sp.data_path[s] = path;
-      candidates.push_back(std::move(path));
-    }
-    const AckPlan ack = plan_ack_cover(sp.members, candidates);
-    MHP_ENSURE(ack.covers_all, "ack cover incomplete");
-    sp.ack_paths = ack.poll_paths;
-    sector_plans.push_back(std::move(sp));
   }
 
   // §V-E: probe the interference pattern over the transmissions the plans
@@ -150,8 +162,11 @@ void PollingSimulation::setup(const Deployment& deployment) {
   if (rotate)
     for (NodeId s = 0; s < n; ++s)
       for (const auto& p : plan_->paths(s)) all_paths.push_back(p.hops);
-  oracle_ = std::make_unique<MeasuredOracle>(
-      *truth_, transmissions_of_paths(all_paths), cfg_.oracle_order);
+  {
+    MHP_SPAN("oracle_probe");
+    oracle_ = std::make_unique<MeasuredOracle>(
+        *truth_, transmissions_of_paths(all_paths), cfg_.oracle_order);
+  }
   const CompatibilityOracle& sched_oracle = scheduling_oracle();
 
   Rng& root = rt_.root_rng();
@@ -214,6 +229,27 @@ void PollingSimulation::setup(const Deployment& deployment) {
     head_->set_replan_handler(
         [this](NodeId declared) { replan_after_death(declared); });
 
+  // Live trajectory for the sampler, when one was requested: standard
+  // counters are only mirrored into the registry at end of run, so push
+  // the watched gauges from agent state before each tick.
+  if (MetricsSampler* sp = rt_.sampler(); sp != nullptr) {
+    sp->add_refresh_hook([this](Time now) {
+      MetricsRegistry& reg = rt_.metrics();
+      std::uint64_t alive = 0;
+      double energy = 0.0;
+      for (const auto& s : sensors_) {
+        if (!s->dead()) ++alive;
+        energy += s->meter().total_energy_j();
+      }
+      reg.gauge(sample::kAliveNodes).set(now, static_cast<double>(alive));
+      reg.gauge(sample::kEnergyJ).set(now, energy);
+      reg.gauge(sample::kDelivered)
+          .set(now, static_cast<double>(head_->packets_received()));
+      reg.gauge(sample::kGenerated)
+          .set(now, static_cast<double>(sum_generated()));
+    });
+  }
+
   head_->start(Time::ms(10));
 }
 
@@ -251,6 +287,7 @@ void PollingSimulation::on_node_death(const NodeDeath& death) {
 }
 
 void PollingSimulation::replan_after_death(NodeId declared) {
+  MHP_SPAN("polling/replan");
   declared_dead_.push_back(declared);
   const RelayPlan* hint = repair_plan_ ? repair_plan_.get() : plan_.get();
   RouteRepair repair = repair_routes(*topo_, declared_dead_, demand_,
@@ -279,13 +316,26 @@ void PollingSimulation::replan_after_death(NodeId declared) {
 SimulationReport PollingSimulation::run(Time duration, Time warmup) {
   MHP_REQUIRE(duration > warmup, "duration must exceed warmup");
   Simulator& sim = rt_.sim();
-  sim.run_until(warmup);
+  {
+    MHP_SPAN("polling/warmup");
+    sim.run_until(warmup);
+  }
   head_->reset_stats(sim.now());
   for (auto& s : sensors_) s->reset_stats(sim.now());
   rt_.begin_measurement();
 
-  sim.run_until(duration);
+  {
+    MHP_SPAN("polling/measured");
+    const std::uint64_t events_before = sim.events_executed();
+    sim.run_until(duration);
+    MHP_SPAN_COUNTER("events", sim.events_executed() - events_before);
+    MHP_SPAN_COUNTER("oracle_hits",
+                     rt_.metrics().counter(metric::kOracleCacheHit).value());
+    MHP_SPAN_COUNTER("oracle_misses",
+                     rt_.metrics().counter(metric::kOracleCacheMiss).value());
+  }
 
+  MHP_SPAN("polling/collect");
   const Time measured = duration - warmup;
   SimulationReport rep;
   rep.sectors = partition_ ? partition_->sectors.size() : 1;
@@ -369,6 +419,13 @@ SimulationReport PollingSimulation::run(Time duration, Time warmup) {
     m.counter("fault.deaths_detected").add(deg.deaths_detected);
     m.counter("fault.replans").add(deg.replans);
     m.counter("fault.orphaned_sensors").add(deg.orphaned_sensors);
+  }
+
+  if (cached_oracle_ != nullptr) {
+    OracleCacheStats oracle;
+    oracle.add(*cached_oracle_);
+    for (const auto& retired : retired_caches_) oracle.add(*retired);
+    rep.oracle = oracle;
   }
 
   static_cast<RunStats&>(rep) =

@@ -46,6 +46,11 @@ struct SimulationReport : RunStats {
   /// fault-free runs byte-identical to pre-fault builds.
   std::optional<DegradationReport> degradation;
 
+  /// Compatibility-oracle cache effectiveness, summed over the live
+  /// cache and every wrapper retired by replans.  Present iff
+  /// cfg.cache_oracle; deterministic (pure function of the schedule).
+  std::optional<OracleCacheStats> oracle;
+
   /// Time until the first sensor exhausts `battery_j` joules at the
   /// measured power draw.  +infinity when no sensor drew any power — an
   /// idle cluster never exhausts a battery (callers that plot or rank

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/ack_collection.hpp"
+#include "obs/profiler.hpp"
 #include "route/routing_engine.hpp"
 #include "util/assertx.hpp"
 
@@ -14,6 +15,7 @@ RouteRepair repair_routes(const ClusterTopology& topo,
                           RoutingPolicy routing,
                           route::RoutingEngine* engine,
                           const RelayPlan* previous) {
+  MHP_SPAN("fault/repair_routes");
   const std::size_t n = topo.num_sensors();
   MHP_REQUIRE(demand.size() == n, "demand size mismatch");
   std::vector<bool> alive(n, true);

@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "sim/runtime.hpp"
 #include "util/thread_pool.hpp"
 
@@ -18,6 +19,7 @@ std::vector<Result> sweep(const std::vector<Point>& points,
   std::vector<Result> results(points.size());
   ThreadPool pool(workers);
   pool.parallel_for(points.size(), [&](std::size_t i) {
+    MHP_SPAN("sweep/point");
     results[i] = fn(points[i]);
   });
   return results;
@@ -40,6 +42,7 @@ std::vector<Result> sweep(
   std::vector<Result> results(points.size());
   ThreadPool pool(opts.workers);
   pool.parallel_for(points.size(), [&](std::size_t i) {
+    MHP_SPAN("sweep/point");
     results[i] = fn(points[i], opts.runtime);
   });
   return results;

@@ -2,7 +2,10 @@
 
 #include <iostream>
 #include <ostream>
+#include <string>
+#include <vector>
 
+#include "obs/profiler.hpp"
 #include "sim/runtime.hpp"
 #include "sim/trace.hpp"
 
@@ -32,6 +35,15 @@ void FlightRecorder::dump(std::ostream& os,
   }
   os << "sim time: " << rt_.sim().now() << ", events executed: "
      << rt_.sim().events_executed() << "\n";
+
+  // Which phase was active?  The failing thread's open profiler spans,
+  // outermost first (the hook runs on the thread that tripped the
+  // contract).  Empty when profiling is off or no span is open.
+  const std::vector<std::string> spans = Profiler::thread_span_stack();
+  if (!spans.empty()) {
+    os << "--- open profiler spans (this thread, outermost first) ---\n";
+    for (const std::string& span : spans) os << "  " << span << "\n";
+  }
 
   const auto& entries = rt_.trace().entries();
   const std::size_t tail =

@@ -92,6 +92,15 @@ Json to_json(const RunStats& stats) {
       .set("metrics", to_json(stats.metrics));
 }
 
+Json to_json(const OracleCacheStats& oracle) {
+  return Json::object()
+      .set("hits", Json(oracle.hits))
+      .set("misses", Json(oracle.misses))
+      .set("screened", Json(oracle.screened))
+      .set("entries", Json(oracle.entries))
+      .set("hit_rate", Json(oracle.hit_rate()));
+}
+
 Json to_json(const DegradationReport& deg) {
   Json dead = Json::array();
   for (const NodeId node : deg.dead_nodes) dead.push_back(Json(node));
@@ -117,6 +126,8 @@ Json to_json(const SimulationReport& report) {
   // byte-identical to pre-fault builds.
   if (report.degradation)
     body.set("degradation", to_json(*report.degradation));
+  // Likewise, only cached-oracle runs carry the cache block.
+  if (report.oracle) body.set("oracle", to_json(*report.oracle));
   return report_envelope("polling", std::move(body));
 }
 
@@ -150,6 +161,7 @@ Json to_json(const MultiClusterReport& report) {
                   .set("totals", to_json(report.totals));
   if (report.degradation)
     body.set("degradation", to_json(*report.degradation));
+  if (report.oracle) body.set("oracle", to_json(*report.oracle));
   return report_envelope("multi_cluster", std::move(body));
 }
 

@@ -20,6 +20,7 @@ struct SimulationReport;
 struct SmacReport;
 struct MultiClusterReport;
 struct DegradationReport;
+struct OracleCacheStats;
 }  // namespace mhp
 
 namespace mhp::obs {
@@ -29,6 +30,7 @@ inline constexpr int kReportSchemaVersion = 1;
 
 Json to_json(const MetricsSnapshot& snap);
 Json to_json(const RunStats& stats);
+Json to_json(const OracleCacheStats& oracle);
 Json to_json(const DegradationReport& deg);
 Json to_json(const SimulationReport& report);
 Json to_json(const SmacReport& report);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/profiler.hpp"
 #include "util/assertx.hpp"
 #include "util/thread_pool.hpp"
 
@@ -263,6 +264,7 @@ void RoutingEngine::cancel_cycles() {
 void RoutingEngine::decompose(const ClusterTopology& topo,
                               const std::vector<Cap>& demand,
                               MinMaxLoadResult& result) {
+  MHP_SPAN("decompose");
   const std::size_t n = topo.num_sensors();
   // remaining_[e]: undistributed flow on forward arc e.  The sink has no
   // outgoing forward flow, so cancel_cycles never touches s→…→t paths'
@@ -332,6 +334,7 @@ void RoutingEngine::decompose(const ClusterTopology& topo,
 MinMaxLoadResult RoutingEngine::solve_balanced(
     const ClusterTopology& topo, const std::vector<std::int64_t>& demand,
     const std::vector<std::int64_t>& weight) {
+  MHP_SPAN("route/solve_balanced");
   const auto* hint = hint_;
   hint_ = nullptr;  // one-shot, consumed even on early return
   stats_ = {};
@@ -470,12 +473,16 @@ MinMaxLoadResult RoutingEngine::solve_balanced(
 
   result.feasible = true;
   result.max_load = hi;
+  MHP_SPAN_COUNTER("probes", stats_.probes);
+  MHP_SPAN_COUNTER("cold_solves", stats_.cold_solves);
+  MHP_SPAN_COUNTER("hint_units", stats_.hint_units);
   decompose(topo, demand, result);
   return result;
 }
 
 MinMaxLoadResult RoutingEngine::solve_shortest(
     const ClusterTopology& topo, const std::vector<std::int64_t>& demand) {
+  MHP_SPAN("route/solve_shortest");
   stats_ = {};
   hint_ = nullptr;
   const std::size_t n = topo.num_sensors();
@@ -534,8 +541,12 @@ MinMaxLoadResult RoutingEngine::solve(SolveKind kind,
 std::vector<MinMaxLoadResult> solve_clusters(
     std::span<const ClusterRouteJob> jobs, std::size_t workers,
     SolvePolicy policy) {
+  MHP_SPAN("route/solve_clusters");
   std::vector<MinMaxLoadResult> results(jobs.size());
   const auto solve_one = [&](std::size_t i) {
+    // Top-level span on its worker thread; the pool's join is the
+    // quiescent point a later drain() relies on.
+    MHP_SPAN("route/cluster");
     const ClusterRouteJob& job = jobs[i];
     MHP_REQUIRE(job.topo != nullptr, "cluster route job without topology");
     RoutingEngine engine(policy);

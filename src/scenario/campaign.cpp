@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "exp/sweep.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report_json.hpp"
 #include "scenario/json_cursor.hpp"
 #include "scenario/run_scenario.hpp"
@@ -314,10 +315,15 @@ CampaignResult run_campaign(const Campaign& campaign,
       order,
       [&](const std::size_t& i) -> int {
         const CampaignPoint& point = *to_run[i];
+        MHP_SPAN("campaign/point");
         Json report;
         std::string error;
         try {
-          const Scenario s = parse_scenario(point.doc);
+          Scenario s = parse_scenario(point.doc);
+          // Per-point profiling is off: the profiler's enable/drain
+          // cycle is process-global, so concurrent points would corrupt
+          // each other's summaries.  Profile a single scenario instead.
+          s.profile = false;
           report = run_scenario(s);
         } catch (const std::exception& e) {
           error = e.what();

@@ -1,11 +1,13 @@
 #include "scenario/run_scenario.hpp"
 
+#include <ostream>
 #include <utility>
 #include <vector>
 
 #include "baseline/smac_simulation.hpp"
 #include "core/multi_cluster_sim.hpp"
 #include "core/polling_simulation.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report_json.hpp"
 #include "util/rng.hpp"
 
@@ -40,10 +42,15 @@ Deployment build_deployment(const DeploymentSpec& spec,
 
 namespace {
 
-RuntimeOptions runtime_options(const Scenario& s) {
+RuntimeOptions runtime_options(const Scenario& s,
+                               const RunScenarioOptions& opts) {
   RuntimeOptions rt;
   rt.trace_max_entries = s.trace_max_entries;
   rt.route_workers = s.route_workers;
+  if (opts.samples_out != nullptr && s.sample_period > Time::zero()) {
+    rt.samples_stream = opts.samples_out;
+    rt.sample_period = s.sample_period;
+  }
   return rt;
 }
 
@@ -54,20 +61,20 @@ void strip_perf(RunStats& stats) {
   stats.events_per_sec = 0.0;
 }
 
-obs::Json run_polling(const Scenario& s) {
+obs::Json run_polling(const Scenario& s, const RunScenarioOptions& opts) {
   const Deployment dep = build_deployment(s.deployment);
   PollingSimulation sim(dep, s.protocol,
                         s.traffic.rates_bps.empty()
                             ? std::vector<double>(s.deployment.sensor_count(),
                                                   s.traffic.rate_bps)
                             : s.traffic.rates_bps,
-                        runtime_options(s));
+                        runtime_options(s, opts));
   SimulationReport report = sim.run(s.run.duration, s.run.warmup);
   if (!s.run.record_perf) strip_perf(report);
   return obs::to_json(report);
 }
 
-obs::Json run_multi_cluster(const Scenario& s) {
+obs::Json run_multi_cluster(const Scenario& s, const RunScenarioOptions& opts) {
   std::vector<ClusterSpec> clusters;
   clusters.reserve(s.clusters.grid_x * s.clusters.grid_y);
   for (std::size_t gy = 0; gy < s.clusters.grid_y; ++gy) {
@@ -83,37 +90,62 @@ obs::Json run_multi_cluster(const Scenario& s) {
   MultiClusterSimulation sim(std::move(clusters), s.protocol, s.clusters.mode,
                              s.traffic.rate_bps,
                              s.clusters.interference_range,
-                             runtime_options(s));
+                             runtime_options(s, opts));
   MultiClusterReport report = sim.run(s.run.duration, s.run.warmup);
   if (!s.run.record_perf) strip_perf(report.totals);
   return obs::to_json(report);
 }
 
-obs::Json run_smac(const Scenario& s) {
+obs::Json run_smac(const Scenario& s, const RunScenarioOptions& opts) {
   const Deployment dep = build_deployment(s.deployment);
   SmacSimulation sim(dep, s.smac,
                      s.traffic.rates_bps.empty()
                          ? std::vector<double>(s.deployment.sensor_count(),
                                                s.traffic.rate_bps)
                          : s.traffic.rates_bps,
-                     runtime_options(s));
+                     runtime_options(s, opts));
   SmacReport report = sim.run(s.run.duration, s.run.warmup);
   if (!s.run.record_perf) strip_perf(report);
   return obs::to_json(report);
 }
 
-}  // namespace
-
-obs::Json run_scenario(const Scenario& s) {
+obs::Json run_stack(const Scenario& s, const RunScenarioOptions& opts) {
   switch (s.stack) {
     case StackKind::kPolling:
-      return run_polling(s);
+      return run_polling(s, opts);
     case StackKind::kMultiCluster:
-      return run_multi_cluster(s);
+      return run_multi_cluster(s, opts);
     case StackKind::kSmac:
-      return run_smac(s);
+      return run_smac(s, opts);
   }
   throw ScenarioError("scenario.stack: unhandled stack");
+}
+
+}  // namespace
+
+obs::Json run_scenario(const Scenario& s, const RunScenarioOptions& opts) {
+  if (!s.profile) return run_stack(s, opts);
+
+  // Discard anything recorded before this run so the summary covers
+  // exactly this scenario, even when several runs share the process.
+  obs::Profiler& prof = obs::Profiler::instance();
+  prof.drain();
+  prof.enable();
+  obs::Json envelope;
+  try {
+    envelope = run_stack(s, opts);
+  } catch (...) {
+    prof.disable();
+    prof.drain();
+    throw;
+  }
+  prof.disable();
+  const obs::ProfileData data = prof.drain();
+  envelope.set("profile", obs::to_json(
+                              summarize_profile(data, !s.run.record_perf)));
+  if (opts.trace_out != nullptr)
+    *opts.trace_out << obs::chrome_trace_json(data).dump() << "\n";
+  return envelope;
 }
 
 }  // namespace mhp::scenario

@@ -3,6 +3,8 @@
 // standard report envelope ({"schema":1,"kind":...,"report":...}).
 #pragma once
 
+#include <iosfwd>
+
 #include "net/deployment.hpp"
 #include "obs/json.hpp"
 #include "scenario/scenario.hpp"
@@ -15,12 +17,26 @@ namespace mhp::scenario {
 Deployment build_deployment(const DeploymentSpec& spec,
                             std::uint64_t seed_offset = 0);
 
+/// Host-side sinks for the observability artifacts a run can emit
+/// beyond its report document.  Both are optional; a null sink simply
+/// drops that artifact.
+struct RunScenarioOptions {
+  /// Chrome trace-event JSON of the profiled run (runtime.profile
+  /// true); loads in Perfetto / chrome://tracing.
+  std::ostream* trace_out = nullptr;
+  /// Sim-time metric samples, one JSON object per line, on the
+  /// runtime.sample_period cadence (when that period is non-zero).
+  std::ostream* samples_out = nullptr;
+};
+
 /// Run the scenario to completion.  With run.record_perf false the
 /// report's host-side perf fields (wall_seconds, events_per_sec) are
 /// zeroed, making the document a pure function of the scenario.
+/// With runtime.profile true the envelope gains a "profile" span
+/// summary (wall times zeroed too when record_perf is false).
 /// Simulation-level failures surface as the stacks' own exceptions
 /// (ContractViolation, std::runtime_error); campaign runners catch them
 /// per point.
-obs::Json run_scenario(const Scenario& s);
+obs::Json run_scenario(const Scenario& s, const RunScenarioOptions& opts = {});
 
 }  // namespace mhp::scenario

@@ -120,6 +120,17 @@ struct Scenario {
   /// Worker threads for per-cluster routing solves (multi_cluster stack;
   /// 0 = all cores).  Reports are byte-identical for any value.
   std::size_t route_workers = 1;
+  /// Record hierarchical profiler spans for this run; the report
+  /// envelope gains a "profile" summary and run_scenario's trace sink
+  /// (mhp_run --profile-out) receives Chrome trace-event JSON.  With
+  /// run.record_perf false the summary's wall times are zeroed (span
+  /// counts and counters kept) so the document stays deterministic.
+  bool profile = false;
+  /// Sim-time metrics sampling cadence; zero = sampling off.  Takes
+  /// effect only when a samples sink is provided (mhp_run
+  /// --samples-out).  The sampler's recurring event makes
+  /// events_processed differ from an unsampled run.
+  Time sample_period = Time::zero();
   /// polling / multi_cluster stacks; carries the fault plan and recovery
   /// config parsed from the top-level "faults" / "recovery" sections.
   ProtocolConfig protocol;

@@ -210,7 +210,9 @@ obs::Json scenario_to_json(const Scenario& s) {
   doc.set("runtime",
           Json::object()
               .set("trace_max_entries", Json(s.trace_max_entries))
-              .set("route_workers", Json(s.route_workers)));
+              .set("route_workers", Json(s.route_workers))
+              .set("profile", Json(s.profile))
+              .set("sample_period", Json(format_duration(s.sample_period))));
   if (s.stack != StackKind::kSmac) {
     doc.set("protocol", dump_protocol(s.protocol));
     doc.set("recovery", dump_recovery(s.protocol.recovery));

@@ -187,6 +187,8 @@ void parse_runtime(const obs::Json& node, const std::string& path,
   ObjectReader r(node, path);
   r.read_int("trace_max_entries", out.trace_max_entries);
   r.read_int("route_workers", out.route_workers);
+  r.read_bool("profile", out.profile);
+  r.read_duration("sample_period", out.sample_period);
   r.finish();
   if (out.trace_max_entries == 0)
     fail(path + ".trace_max_entries", "must be >= 1");

@@ -15,6 +15,19 @@ SimRuntime::SimRuntime(std::uint64_t seed, const RuntimeOptions& opts)
     jsonl_sink_ = std::make_unique<JsonlTraceSink>(*opts.trace_jsonl_stream);
     trace_.add_sink(jsonl_sink_.get());
   }
+  if (opts.samples_stream != nullptr) {
+    MetricsSampler& sp = install_sampler(
+        {.period = opts.sample_period, .out = opts.samples_stream});
+    // Standard contract names; stacks whose live state is not mirrored
+    // into the registry push it via refresh hooks (see sample::).
+    sp.watch_counter(metric::kPacketsGenerated);
+    sp.watch_counter(metric::kPacketsDelivered);
+    sp.watch_gauge(sample::kAliveNodes);
+    sp.watch_gauge(sample::kEnergyJ);
+    sp.watch_gauge(sample::kDelivered);
+    sp.watch_gauge(sample::kGenerated);
+    sp.start();
+  }
 }
 
 SimRuntime::~SimRuntime() {
@@ -40,6 +53,13 @@ FaultInjector& SimRuntime::install_faults(const FaultPlan& plan) {
   MHP_REQUIRE(faults_ == nullptr, "runtime already has a fault injector");
   faults_ = std::make_unique<FaultInjector>(sim_, plan, &trace_);
   return *faults_;
+}
+
+MetricsSampler& SimRuntime::install_sampler(
+    const MetricsSampler::Options& opts) {
+  MHP_REQUIRE(sampler_ == nullptr, "runtime already has a sampler");
+  sampler_ = std::make_unique<MetricsSampler>(sim_, metrics_, opts);
+  return *sampler_;
 }
 
 Channel& SimRuntime::add_channel(RadioParams params,

@@ -1,0 +1,61 @@
+#include "sim/sampler.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/assertx.hpp"
+
+namespace mhp {
+
+MetricsSampler::MetricsSampler(Simulator& sim, MetricsRegistry& metrics,
+                               Options opts)
+    : sim_(sim), metrics_(metrics), opts_(opts) {
+  MHP_REQUIRE(opts_.period > Time::zero(),
+              "MetricsSampler period must be positive");
+  MHP_REQUIRE(opts_.out != nullptr, "MetricsSampler needs a JSONL sink");
+}
+
+void MetricsSampler::watch_counter(std::string name) {
+  counters_.push_back(std::move(name));
+}
+
+void MetricsSampler::watch_gauge(std::string name) {
+  gauges_.push_back(std::move(name));
+}
+
+void MetricsSampler::add_refresh_hook(std::function<void(Time)> hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void MetricsSampler::start() {
+  MHP_REQUIRE(!started_, "MetricsSampler started twice");
+  started_ = true;
+  sim_.after(opts_.period, [this] { tick(); });
+}
+
+void MetricsSampler::tick() {
+  const Time now = sim_.now();
+  for (const auto& hook : hooks_) hook(now);
+
+  obs::Json counters = obs::Json::object();
+  for (const std::string& name : counters_) {
+    const Counter* c = metrics_.find_counter(name);
+    counters.set(name, obs::Json(c != nullptr ? c->value() : 0));
+  }
+  obs::Json gauges = obs::Json::object();
+  for (const std::string& name : gauges_) {
+    const Gauge* g = metrics_.find_gauge(name);
+    gauges.set(name, obs::Json(g != nullptr ? g->last() : 0.0));
+  }
+
+  obs::Json line = obs::Json::object()
+                       .set("t_s", obs::Json(now.to_seconds()))
+                       .set("counters", std::move(counters))
+                       .set("gauges", std::move(gauges));
+  (*opts_.out) << line.dump() << '\n';
+  ++samples_;
+
+  sim_.after(opts_.period, [this] { tick(); });
+}
+
+}  // namespace mhp

@@ -1,0 +1,79 @@
+// Sim-time metrics sampler: the data behind lifetime curves.
+//
+// End-of-run reports are snapshots; the paper's fig-7-style claims
+// (energy remaining over time, alive nodes, delivery) are trajectories.
+// A MetricsSampler runs as a recurring simulator event on a fixed
+// sim-time cadence and appends one JSON object per tick to a JSONL
+// stream: {"t_s": ..., "counters": {...}, "gauges": {...}}.
+//
+// Sampling is pull-based from the MetricsRegistry, so it draws nothing
+// from any Rng and the simulation's random trajectory is unchanged (the
+// recurring events do count toward events_processed — which is why
+// stacks only install a sampler when a sink was requested).  Stacks
+// whose live state is not continuously mirrored into the registry
+// register refresh hooks, called before each tick to set the watched
+// gauges (alive nodes, energy remaining).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mhp {
+
+class MetricsSampler {
+ public:
+  struct Options {
+    /// Sim-time between samples; must be positive.
+    Time period = Time::seconds(1.0);
+    /// JSONL sink, one sample object per line.  Required.
+    std::ostream* out = nullptr;
+  };
+
+  MetricsSampler(Simulator& sim, MetricsRegistry& metrics, Options opts);
+
+  /// Record this counter (resp. gauge last value) in every sample.
+  /// Absent names read as 0 — watching before first use is fine.
+  void watch_counter(std::string name);
+  void watch_gauge(std::string name);
+
+  /// Called with the current sim time immediately before each sample is
+  /// read, so stacks can push live state into the watched gauges.
+  void add_refresh_hook(std::function<void(Time)> hook);
+
+  /// Schedule the recurring tick; the first sample lands one period from
+  /// now.  Call once, after the watch list is set up.
+  void start();
+
+  std::uint64_t samples_written() const { return samples_; }
+  Time period() const { return opts_.period; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  MetricsRegistry& metrics_;
+  Options opts_;
+  std::vector<std::string> counters_;
+  std::vector<std::string> gauges_;
+  std::vector<std::function<void(Time)>> hooks_;
+  std::uint64_t samples_ = 0;
+  bool started_ = false;
+};
+
+/// Gauge names the polling stacks publish through their refresh hooks,
+/// for samplers and dashboards to watch by one shared contract.
+namespace sample {
+inline constexpr const char* kAliveNodes = "sample.alive_nodes";
+inline constexpr const char* kEnergyJ = "sample.energy_j";
+inline constexpr const char* kDelivered = "sample.delivered";
+inline constexpr const char* kGenerated = "sample.generated";
+}  // namespace sample
+
+}  // namespace mhp

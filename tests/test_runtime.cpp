@@ -255,6 +255,7 @@ TEST(RuntimeGolden, SmacMetricsSnapshotMatchesReport) {
 obs::Json comparable_report_json(SimulationReport r) {
   r.metrics.counters.erase(metric::kOracleCacheHit);
   r.metrics.counters.erase(metric::kOracleCacheMiss);
+  r.oracle.reset();  // the cache's own stats block, cache-on runs only
   r.wall_seconds = 0.0;
   r.events_per_sec = 0.0;
   return obs::to_json(r);
@@ -263,6 +264,7 @@ obs::Json comparable_report_json(SimulationReport r) {
 obs::Json comparable_report_json(MultiClusterReport r) {
   r.totals.metrics.counters.erase(metric::kOracleCacheHit);
   r.totals.metrics.counters.erase(metric::kOracleCacheMiss);
+  r.oracle.reset();
   r.totals.wall_seconds = 0.0;
   r.totals.events_per_sec = 0.0;
   return obs::to_json(r);
@@ -289,6 +291,14 @@ TEST(RuntimeGolden, OracleCacheKeepsPollingReportByteIdentical) {
             0u);
   EXPECT_EQ(r_off.metrics.counter(metric::kOracleCacheHit), 0u);
   EXPECT_EQ(r_off.metrics.counter(metric::kOracleCacheMiss), 0u);
+  // Only the cached run carries the stats block.  Its counts are
+  // lifetime totals, so they cover at least the measured window the
+  // registry counters were rebased to.
+  ASSERT_TRUE(r_on.oracle.has_value());
+  EXPECT_FALSE(r_off.oracle.has_value());
+  EXPECT_GE(r_on.oracle->hits + r_on.oracle->misses,
+            r_on.metrics.counter(metric::kOracleCacheHit) +
+                r_on.metrics.counter(metric::kOracleCacheMiss));
   // ...without perturbing a single other byte of the report.
   EXPECT_EQ(dump(comparable_report_json(r_on)),
             dump(comparable_report_json(r_off)));

@@ -3,7 +3,11 @@
 //
 //   mhp_run scenario.json                   run, report to stdout
 //   mhp_run scenario.json --out report.json run, report to a file
+//   mhp_run scenario.json --profile-out t.json   profile the run, write
+//                                           Chrome trace-event JSON
+//   mhp_run scenario.json --samples-out s.jsonl  sim-time metric samples
 //   mhp_run --validate-only a.json b.json   parse + validate, run nothing
+//   mhp_run --validate-trace trace.json     strict-parse an emitted trace
 //   mhp_run --dump-defaults [stack]         print the fully-defaulted
 //                                           scenario (polling default)
 //   mhp_run --campaign campaign.json --out-dir DIR [--workers N]
@@ -82,14 +86,70 @@ int validate_only(const std::vector<std::string>& paths) {
   return bad == 0 ? 0 : 1;
 }
 
+/// Strict validation of an emitted Chrome trace-event file: it must
+/// parse with the obs::Json parser and hold a non-empty "traceEvents"
+/// array whose entries all carry the mandatory event keys.
+int validate_trace(const std::vector<std::string>& paths) {
+  int bad = 0;
+  for (const std::string& path : paths) {
+    try {
+      const obs::Json doc = obs::parse_json(read_file(path));
+      const obs::Json* events =
+          doc.is_object() ? doc.find("traceEvents") : nullptr;
+      if (events == nullptr || !events->is_array())
+        throw std::runtime_error("no \"traceEvents\" array");
+      std::size_t spans = 0;
+      for (std::size_t i = 0; i < events->size(); ++i) {
+        const obs::Json& e = events->at(i);
+        if (!e.is_object() || e.find("ph") == nullptr ||
+            e.find("pid") == nullptr || e.find("tid") == nullptr ||
+            e.find("name") == nullptr)
+          throw std::runtime_error("traceEvents[" + std::to_string(i) +
+                                   "]: missing ph/pid/tid/name");
+        if (e.find("ph")->as_string() == "X") ++spans;
+      }
+      if (spans == 0)
+        throw std::runtime_error("no complete (\"ph\":\"X\") span events");
+      std::printf("%s: ok (%zu events, %zu spans)\n", path.c_str(),
+                  events->size(), spans);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 int run_one(const std::string& path, const std::string& out,
-            const std::string& workers) {
+            const std::string& workers, const std::string& profile_out,
+            const std::string& samples_out) {
   scenario::Scenario s = scenario::parse_scenario_text(read_file(path));
   // --workers on a single run overrides the scenario's routing worker
   // count (reports are byte-identical for any value).
   if (!workers.empty())
     s.route_workers = static_cast<std::size_t>(std::stoul(workers));
-  const obs::Json report = scenario::run_scenario(s);
+
+  scenario::RunScenarioOptions opts;
+  std::ofstream trace_file, samples_file;
+  if (!profile_out.empty()) {
+    // The flag both requests the artifact and turns profiling on, so a
+    // stock scenario file profiles without editing.
+    s.profile = true;
+    trace_file.open(profile_out);
+    if (!trace_file.is_open())
+      throw std::runtime_error("cannot open " + profile_out);
+    opts.trace_out = &trace_file;
+  }
+  if (!samples_out.empty()) {
+    if (s.sample_period <= Time::zero())
+      s.sample_period = Time::seconds(1.0);
+    samples_file.open(samples_out);
+    if (!samples_file.is_open())
+      throw std::runtime_error("cannot open " + samples_out);
+    opts.samples_out = &samples_file;
+  }
+
+  const obs::Json report = scenario::run_scenario(s, opts);
   if (out.empty()) {
     std::printf("%s\n", report.dump(2).c_str());
     return 0;
@@ -121,10 +181,16 @@ int main(int argc, char** argv) {
   exp::Flags flags(
       "run declarative scenario / campaign files (JSON) and emit reports");
   flags.flag("--validate-only", "parse and validate inputs, run nothing")
+      .flag("--validate-trace",
+            "strict-parse Chrome trace-event files, run nothing")
       .flag("--dump-defaults", "print the fully-defaulted scenario schema")
       .flag("--campaign", "treat the input as a campaign file")
       .option("--out", "FILE", "write the scenario report here")
       .option("--out-dir", "DIR", "campaign output directory (default: .)")
+      .option("--profile-out", "FILE",
+              "profile the run and write Chrome trace-event JSON here")
+      .option("--samples-out", "FILE",
+              "write sim-time metric samples (JSONL) here")
       .option("--workers", "N",
               "campaign worker threads, or routing workers for a single "
               "run (0 = all cores)")
@@ -144,6 +210,13 @@ int main(int argc, char** argv) {
       }
       return validate_only(flags.args());
     }
+    if (flags.has("--validate-trace")) {
+      if (flags.args().empty()) {
+        std::fprintf(stderr, "mhp_run: --validate-trace needs input files\n");
+        return 2;
+      }
+      return validate_trace(flags.args());
+    }
     if (flags.args().size() != 1) {
       std::fprintf(stderr, "mhp_run: expected exactly one input file "
                            "(see --help)\n");
@@ -157,7 +230,9 @@ int main(int argc, char** argv) {
                                    std::stoul(workers)));
     }
     return run_one(flags.args().front(), flags.value("--out"),
-                   flags.value("--workers", ""));
+                   flags.value("--workers", ""),
+                   flags.value("--profile-out", ""),
+                   flags.value("--samples-out", ""));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mhp_run: %s\n", e.what());
     return 1;
