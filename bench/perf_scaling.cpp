@@ -1,8 +1,8 @@
 // Hot-path scaling trajectory: topology construction (spatial grid vs the
 // O(n²) brute-force reference), min-max-load routing (warm-start
-// RoutingEngine vs a from-zero δ-search), and one full greedy polling
-// cycle over n ∈ {50, 200, 500, 1000, 5000, 20000} sensors at constant
-// density.
+// RoutingEngine vs a from-zero δ-search), one full greedy polling cycle,
+// and an event-kernel churn phase over n ∈ {50, 200, 500, 1000, 5000,
+// 20000, 100000} sensors at constant density.
 //
 // The polling cycle runs the offline greedy scheduler through a
 // pair-screening CachedOracle over the disc interference model, so the
@@ -21,6 +21,7 @@
 //   --profile-out <path>  record profiler spans across all points and
 //                         write Chrome trace-event JSON here; also fills
 //                         the span_*_ms columns (0 when not profiling)
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +39,7 @@
 #include "obs/json.hpp"
 #include "obs/profiler.hpp"
 #include "route/routing_engine.hpp"
+#include "sim/simulator.hpp"
 #include "util/assertx.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -73,11 +75,14 @@ struct Result {
   double budget_topo_ms = 0.0;
   double budget_routing_ms = 0.0;
   double budget_polling_ms = 0.0;
+  double kernel_ms = 0.0;  // event-kernel churn (n polls, cancel-heavy)
+  double budget_kernel_ms = 0.0;
   /// Span-attributed per-phase wall time from the profiler (the
   /// "bench/*" spans below); 0 when not run under --profile-out.
   double span_topo_ms = 0.0;     // per grid rep
   double span_routing_ms = 0.0;  // production warm-start solve
   double span_polling_ms = 0.0;  // offline greedy cycle
+  double span_kernel_ms = 0.0;   // simulator churn drain
 };
 
 constexpr double kSensorRange = 60.0;
@@ -86,6 +91,57 @@ constexpr double kSensorRange = 60.0;
 /// O(n²) — exactly the scaling the speedup column demonstrates.
 double side_for(std::size_t n) {
   return std::sqrt(1000.0 * static_cast<double>(n));
+}
+
+/// Event-kernel churn: the poll-timeout retry pattern at size n.  Each of
+/// 64 concurrent "poll lanes" arms a timeout, gets the reply first (which
+/// cancels the timeout) and immediately arms the next poll — one push +
+/// cancel + push + pop per delivered poll, with the live-event count
+/// pinned at 2×lanes.  This is exactly the workload the arena kernel must
+/// keep allocation-free and the lazy-cancel kernel bloated on; its budget
+/// column lets CI fail on kernel regressions at n=200.
+double kernel_churn_ms(std::size_t sensors) {
+  using namespace mhp;
+  // 16 poll rounds per sensor: enough churn that even the n=200 smoke
+  // point measures hundreds of microseconds, not timer noise.
+  const std::size_t polls = sensors * 16;
+  Simulator sim;
+  struct Lane {
+    Simulator* sim = nullptr;
+    std::size_t remaining = 0;
+    EventId timeout = 0;
+    std::uint64_t timeouts_fired = 0;  // must stay 0: replies beat timeouts
+    void poll() {
+      if (remaining == 0) return;
+      --remaining;
+      timeout = sim->after(Time::us(10), [this] { ++timeouts_fired; });
+      sim->after(Time::us(2), [this] {
+        sim->cancel(timeout);
+        poll();
+      });
+    }
+  };
+  constexpr std::size_t kLanes = 64;
+  const std::size_t per_lane = (polls + kLanes - 1) / kLanes;
+  // Fixed-size vector: lanes self-schedule via `this`, so no reallocation.
+  std::vector<Lane> lanes(kLanes);
+  const auto t0 = Clock::now();
+  std::uint64_t executed = 0;
+  {
+    MHP_SPAN("bench/kernel");
+    for (auto& lane : lanes) {
+      lane.sim = &sim;
+      lane.remaining = per_lane;
+      lane.poll();
+    }
+    executed = sim.run();
+  }
+  const double ms = ms_since(t0);
+  // Only the replies execute; every timeout must have been cancelled.
+  MHP_REQUIRE(executed == per_lane * kLanes, "kernel churn lost events");
+  for (const auto& lane : lanes)
+    MHP_REQUIRE(lane.timeouts_fired == 0, "kernel churn timeout fired");
+  return ms;
 }
 
 Result run_point(const Point& p) {
@@ -155,9 +211,14 @@ Result run_point(const Point& p) {
   const DiscModelOracle truth(dep.positions, kSensorRange, 3);
   const CachedOracle cached(truth, CachedOracle::PairScreen::kOn);
   t0 = Clock::now();
+  // The default 1M-slot guard exists for pathological loss models; a
+  // loss-free n=100000 cycle legitimately needs ~3M slots (path length
+  // grows with the √n field side), so scale the cap with n.
+  const std::size_t max_slots =
+      std::max<std::size_t>(1'000'000, 64 * p.sensors);
   const OfflineRunResult run = [&] {
     MHP_SPAN("bench/polling");
-    return run_offline(cached, paths);
+    return run_offline(cached, paths, {}, max_slots);
   }();
   out.polling_ms = ms_since(t0);
   MHP_REQUIRE(run.all_delivered, "offline polling cycle did not finish");
@@ -169,10 +230,12 @@ Result run_point(const Point& p) {
                        : 0.0;
   out.cache_hit_rate = cached.hit_rate();
   out.screened = static_cast<long long>(cached.screened());
+  out.kernel_ms = kernel_churn_ms(p.sensors);
   out.floor_tx_per_sec = out.tx_per_sec / 20.0;
   out.budget_topo_ms = out.topo_grid_ms * 20.0;
   out.budget_routing_ms = out.routing_ms * 20.0;
   out.budget_polling_ms = out.polling_ms * 20.0;
+  out.budget_kernel_ms = out.kernel_ms * 20.0;
   return out;
 }
 
@@ -183,6 +246,7 @@ struct BaselineGates {
   double budget_topo_ms = -1.0;
   double budget_routing_ms = -1.0;
   double budget_polling_ms = -1.0;
+  double budget_kernel_ms = -1.0;
 };
 
 BaselineGates baseline_gates(const std::string& path, bool& found) {
@@ -206,6 +270,7 @@ BaselineGates baseline_gates(const std::string& path, bool& found) {
     read("budget_topo_ms", g.budget_topo_ms);
     read("budget_routing_ms", g.budget_routing_ms);
     read("budget_polling_ms", g.budget_polling_ms);
+    read("budget_kernel_ms", g.budget_kernel_ms);
     found = g.floor_tx_per_sec >= 0.0;
     return g;
   }
@@ -243,7 +308,7 @@ int main(int argc, char** argv) {
   if (smoke) {
     points = {{50}, {200}};
   } else {
-    points = {{50}, {200}, {500}, {1000}, {5000}, {20000}};
+    points = {{50}, {200}, {500}, {1000}, {5000}, {20000}, {100000}};
   }
 
   // Sequential on purpose: the columns are wall-clock timings and thread
@@ -277,6 +342,7 @@ int main(int argc, char** argv) {
     r.span_topo_ms = span_ms("bench/topology");
     r.span_routing_ms = span_ms("bench/routing");
     r.span_polling_ms = span_ms("bench/polling");
+    r.span_kernel_ms = span_ms("bench/kernel");
     all_spans.paths = std::move(data.paths);
     all_spans.events.insert(all_spans.events.end(), data.events.begin(),
                             data.events.end());
@@ -303,7 +369,8 @@ int main(int argc, char** argv) {
                "polling_slots", "polling tx", "polling ms", "tx_per_sec",
                "cache_hit_rate", "screened", "floor_tx_per_sec",
                "budget_topo_ms", "budget_routing_ms", "budget_polling_ms",
-               "span_topo_ms", "span_routing_ms", "span_polling_ms"});
+               "span_topo_ms", "span_routing_ms", "span_polling_ms",
+               "kernel ms", "budget_kernel_ms", "span_kernel_ms"});
   table.set_precision(1, 3);
   table.set_precision(2, 3);
   table.set_precision(3, 1);
@@ -320,6 +387,9 @@ int main(int argc, char** argv) {
   table.set_precision(17, 3);
   table.set_precision(18, 2);
   table.set_precision(19, 2);
+  table.set_precision(20, 3);
+  table.set_precision(21, 1);
+  table.set_precision(22, 3);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Result& r = results[i];
     table.add_row({static_cast<long long>(points[i].sensors),
@@ -329,7 +399,8 @@ int main(int argc, char** argv) {
                    r.tx_per_sec, r.cache_hit_rate, r.screened,
                    r.floor_tx_per_sec, r.budget_topo_ms,
                    r.budget_routing_ms, r.budget_polling_ms,
-                   r.span_topo_ms, r.span_routing_ms, r.span_polling_ms});
+                   r.span_topo_ms, r.span_routing_ms, r.span_polling_ms,
+                   r.kernel_ms, r.budget_kernel_ms, r.span_kernel_ms});
     recorder.add_events(static_cast<std::uint64_t>(r.polling_tx));
   }
   std::printf("%s\n", table.to_ascii().c_str());
@@ -361,6 +432,7 @@ int main(int argc, char** argv) {
     check_budget("topology", current->topo_grid_ms, gates.budget_topo_ms);
     check_budget("routing", current->routing_ms, gates.budget_routing_ms);
     check_budget("polling", current->polling_ms, gates.budget_polling_ms);
+    check_budget("kernel", current->kernel_ms, gates.budget_kernel_ms);
     if (!ok) return 1;
     std::printf(
         "perf gates ok: n=200 tx/sec %.0f >= floor %.0f; phase times "

@@ -1,7 +1,6 @@
 #include "core/greedy_scheduler.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "obs/profiler.hpp"
 #include "util/assertx.hpp"
@@ -15,8 +14,54 @@ RequestId GreedyPollingScheduler::add_request(std::vector<NodeId> path) {
   r.req.id = id;
   r.req.path = std::move(path);
   requests_.push_back(std::move(r));
+  active_next_.push_back(kNil);
+  active_prev_.push_back(kNil);
+  active_push_back(id);
   ++pending_active_;
   return id;
+}
+
+void GreedyPollingScheduler::active_push_back(std::uint32_t id) {
+  active_prev_[id] = active_tail_;
+  active_next_[id] = kNil;
+  if (active_tail_ != kNil)
+    active_next_[active_tail_] = id;
+  else
+    active_head_ = id;
+  active_tail_ = id;
+}
+
+void GreedyPollingScheduler::active_unlink(std::uint32_t id) {
+  const std::uint32_t prev = active_prev_[id];
+  const std::uint32_t next = active_next_[id];
+  if (prev != kNil)
+    active_next_[prev] = next;
+  else
+    active_head_ = next;
+  if (next != kNil)
+    active_prev_[next] = prev;
+  else
+    active_tail_ = prev;
+  active_prev_[id] = active_next_[id] = kNil;
+}
+
+void GreedyPollingScheduler::active_insert_sorted(std::uint32_t id) {
+  // Re-activations (loss recovery) are rare; a forward walk to the first
+  // larger id keeps the list in the paper's fixed scan order.
+  std::uint32_t at = active_head_;
+  while (at != kNil && at < id) at = active_next_[at];
+  if (at == kNil) {
+    active_push_back(id);
+    return;
+  }
+  const std::uint32_t prev = active_prev_[at];
+  active_prev_[id] = prev;
+  active_next_[id] = at;
+  active_prev_[at] = id;
+  if (prev != kNil)
+    active_next_[prev] = id;
+  else
+    active_head_ = id;
 }
 
 std::vector<ScheduledTx>& GreedyPollingScheduler::occupancy(std::size_t slot) {
@@ -24,6 +69,11 @@ std::vector<ScheduledTx>& GreedyPollingScheduler::occupancy(std::size_t slot) {
   const std::size_t k = slot - slot_;
   while (future_.size() <= k) future_.emplace_back();
   return future_[k];
+}
+
+std::vector<RequestId>& GreedyPollingScheduler::due_list(std::size_t k) {
+  while (due_.size() <= k) due_.emplace_back();
+  return due_[k];
 }
 
 bool GreedyPollingScheduler::admissible(const PollingRequest& r) const {
@@ -51,35 +101,35 @@ bool GreedyPollingScheduler::admissible(const PollingRequest& r) const {
   return true;
 }
 
-std::vector<ScheduledTx> GreedyPollingScheduler::plan_slot() {
+const std::vector<ScheduledTx>& GreedyPollingScheduler::plan_slot() {
   MHP_REQUIRE(!planned_, "plan_slot called twice without complete_slot");
   planned_ = true;
   const auto order = static_cast<std::size_t>(oracle_.order());
-  for (auto& r : requests_) {
-    if (!r.active) continue;
-    if (slot_ < r.eligible_slot) continue;  // deferred by backoff
-    if (!future_.empty() && future_[0].size() >= order) break;
-    if (!admissible(r.req)) continue;
-    r.active = false;
-    r.in_flight = true;
-    r.start_slot = slot_;
-    --pending_active_;
-    ++in_flight_;
-    for (std::size_t j = 0; j < r.req.hop_count(); ++j)
-      occupancy(slot_ + j).push_back(ScheduledTx{r.req.hop(j), r.req.id, j});
+  if (future_.empty()) future_.emplace_back();
+  for (std::uint32_t id = active_head_; id != kNil;) {
+    const std::uint32_t next = active_next_[id];  // survives the unlink
+    if (future_[0].size() >= order) break;
+    Request& r = requests_[id];
+    if (slot_ >= r.eligible_slot && admissible(r.req)) {
+      r.active = false;
+      r.in_flight = true;
+      r.start_slot = slot_;
+      --pending_active_;
+      ++in_flight_;
+      active_unlink(id);
+      for (std::size_t j = 0; j < r.req.hop_count(); ++j)
+        occupancy(slot_ + j).push_back(ScheduledTx{r.req.hop(j), r.req.id, j});
+      auto& due = due_list(r.req.hop_count() - 1);
+      due.insert(std::upper_bound(due.begin(), due.end(), id), id);
+    }
+    id = next;
   }
-  std::vector<ScheduledTx> now =
-      future_.empty() ? std::vector<ScheduledTx>{} : future_[0];
-  attempts_ += now.size();
-  return now;
+  attempts_ += future_[0].size();
+  return future_[0];
 }
 
-std::vector<RequestId> GreedyPollingScheduler::due_now() const {
-  std::vector<RequestId> due;
-  for (const auto& r : requests_)
-    if (r.in_flight && r.start_slot + r.req.hop_count() == slot_ + 1)
-      due.push_back(r.req.id);
-  return due;
+const std::vector<RequestId>& GreedyPollingScheduler::due_now() const {
+  return due_.empty() ? no_due_ : due_[0];
 }
 
 void GreedyPollingScheduler::complete_slot(
@@ -95,17 +145,23 @@ void GreedyPollingScheduler::complete_slot(
     history_.slots.emplace_back();
   }
 
-  const std::set<RequestId> got(delivered.begin(), delivered.end());
-  for (auto& r : requests_) {
-    if (!r.in_flight) continue;
-    if (r.start_slot + r.req.hop_count() != slot_ + 1) continue;
-    r.in_flight = false;
-    --in_flight_;
-    if (!got.contains(r.req.id)) {
-      r.active = true;
-      ++pending_active_;
-      ++reactivations_;
+  // Only requests whose last hop ran in this slot resolve now; due_[0]
+  // holds exactly those.  `delivered` may alias due_[0] (the caller often
+  // passes due_now()'s buffer), so it is only read before the pop.
+  if (!due_.empty()) {
+    for (RequestId id : due_[0]) {
+      Request& r = requests_[id];
+      r.in_flight = false;
+      --in_flight_;
+      if (std::find(delivered.begin(), delivered.end(), id) ==
+          delivered.end()) {
+        r.active = true;
+        ++pending_active_;
+        ++reactivations_;
+        active_insert_sorted(id);
+      }
     }
+    due_.pop_front();
   }
   ++slot_;
 }
@@ -117,6 +173,7 @@ void GreedyPollingScheduler::abandon(RequestId id) {
   if (!r.active) return;  // already done
   r.active = false;
   --pending_active_;
+  active_unlink(id);
 }
 
 void GreedyPollingScheduler::defer(RequestId id, std::size_t slots) {
@@ -127,8 +184,8 @@ void GreedyPollingScheduler::defer(RequestId id, std::size_t slots) {
 }
 
 bool GreedyPollingScheduler::has_deferred() const {
-  for (const auto& r : requests_)
-    if (r.active && slot_ < r.eligible_slot) return true;
+  for (std::uint32_t id = active_head_; id != kNil; id = active_next_[id])
+    if (slot_ < requests_[id].eligible_slot) return true;
   return false;
 }
 
@@ -149,6 +206,7 @@ OfflineRunResult run_offline(const CompatibilityOracle& oracle,
   OfflineRunResult result;
   // A request's packet arrives iff no hop transmission was lost.
   std::vector<bool> hop_failed(paths.size(), false);
+  std::vector<RequestId> delivered;  // reused across slots
   while (!sched.finished()) {
     if (sched.current_slot() >= max_slots) {
       result.slots = sched.current_slot();
@@ -157,13 +215,13 @@ OfflineRunResult run_offline(const CompatibilityOracle& oracle,
       result.reactivations = sched.reactivations();
       return result;  // all_delivered stays false
     }
-    const auto txs = sched.plan_slot();
+    const auto& txs = sched.plan_slot();
     for (const auto& s : txs) {
       if (s.hop == 0) hop_failed[s.request] = false;  // fresh attempt
       if (loss && !loss(s, sched.current_slot()))
         hop_failed[s.request] = true;
     }
-    std::vector<RequestId> delivered;
+    delivered.clear();
     for (RequestId id : sched.due_now())
       if (!hop_failed[id]) delivered.push_back(id);
     sched.complete_slot(delivered);

@@ -33,12 +33,14 @@ class GreedyPollingScheduler {
   std::size_t current_slot() const { return slot_; }
 
   /// Plan the current slot: admit active requests, return every
-  /// transmission running in it (newly started and relays).
-  std::vector<ScheduledTx> plan_slot();
+  /// transmission running in it (newly started and relays).  The
+  /// reference stays valid until complete_slot().
+  const std::vector<ScheduledTx>& plan_slot();
 
   /// Requests whose packet is due at the head at the end of the current
-  /// slot (last hop runs now).
-  std::vector<RequestId> due_now() const;
+  /// slot (last hop runs now), ascending id.  The reference stays valid
+  /// until complete_slot().
+  const std::vector<RequestId>& due_now() const;
 
   /// Report the outcome of the current slot and advance to the next one:
   /// due requests present in `delivered` complete, the rest re-activate.
@@ -77,17 +79,34 @@ class GreedyPollingScheduler {
     std::size_t eligible_slot = 0;  // earliest slot defer() allows
   };
 
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   /// Transmissions already committed to `slot` (relays of in-flight
   /// requests and requests admitted earlier in this planning pass).
   std::vector<ScheduledTx>& occupancy(std::size_t slot);
 
+  /// Requests whose last hop runs in slot `slot_ + k` (ascending id).
+  std::vector<RequestId>& due_list(std::size_t k);
+
   bool admissible(const PollingRequest& r) const;
+
+  // Intrusive doubly-linked list over requests with active == true, kept
+  // in ascending id order (the paper's fixed scan order).  plan_slot()
+  // walks only this list instead of every request ever registered.
+  void active_push_back(std::uint32_t id);
+  void active_unlink(std::uint32_t id);
+  void active_insert_sorted(std::uint32_t id);
 
   const CompatibilityOracle& oracle_;
   /// Group buffer admissible() refills per hop instead of allocating.
   mutable std::vector<Tx> scratch_;
   std::vector<Request> requests_;
+  std::vector<std::uint32_t> active_next_, active_prev_;
+  std::uint32_t active_head_ = kNil;
+  std::uint32_t active_tail_ = kNil;
   std::deque<std::vector<ScheduledTx>> future_;  // future_[k] = slot_+k
+  std::deque<std::vector<RequestId>> due_;       // due_[k]: last hop at slot_+k
+  std::vector<RequestId> no_due_;                // (always empty)
   Schedule history_;
   std::size_t slot_ = 0;
   std::size_t pending_active_ = 0;

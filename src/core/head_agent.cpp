@@ -191,12 +191,13 @@ void HeadAgent::run_slot() {
     return;
   }
 
-  std::vector<ScheduledTx> txs;
+  const std::vector<ScheduledTx>* planned = nullptr;
   {
     MHP_SPAN("head/plan_slot");
-    txs = phase_.sched->plan_slot();
-    MHP_SPAN_COUNTER("scheduled", txs.size());
+    planned = &phase_.sched->plan_slot();
+    MHP_SPAN_COUNTER("scheduled", planned->size());
   }
+  const std::vector<ScheduledTx>& txs = *planned;
   if (txs.empty()) {
     // Every active request is held back by retry backoff: let the slot
     // pass idle and try again.  Only possible under fault recovery.
@@ -233,7 +234,8 @@ void HeadAgent::finish_slot() {
   for (const auto& ack : arrived_acks_)
     for (const auto& [sensor, count] : ack.backlog) backlog_[sensor] = count;
 
-  std::vector<RequestId> delivered;
+  std::vector<RequestId>& delivered = delivered_scratch_;
+  delivered.clear();
   for (std::uint32_t wire : arrived_wire_) {
     if (wire < phase_.wire_base) continue;
     const std::uint32_t local = wire - phase_.wire_base;
@@ -241,7 +243,13 @@ void HeadAgent::finish_slot() {
   }
   phase_.delivered += static_cast<std::uint32_t>(delivered.size());
 
-  const auto due = phase_.sched->due_now();
+  // Copy: the retry-budget loop below needs the due set after
+  // complete_slot() has recycled the scheduler's buffer.
+  std::vector<RequestId>& due = due_scratch_;
+  {
+    const auto& due_ref = phase_.sched->due_now();
+    due.assign(due_ref.begin(), due_ref.end());
+  }
 
   // A delivery vouches for every node on its path.
   if (cfg_.recovery.enabled && !suspicion_.empty())
@@ -382,7 +390,7 @@ void HeadAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
   switch (frame.kind) {
     case FrameKind::kData: {
       const auto& p = std::any_cast<const DataPayload&>(frame.payload);
-      arrived_wire_.insert(p.request);
+      note_arrival(p.request);
       ++packets_received_;
       bytes_received_ += frame.size_bytes;
       latency_s_.add((sim_.now() - p.generated_at).to_seconds());
@@ -392,7 +400,7 @@ void HeadAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
     }
     case FrameKind::kAck: {
       const auto& p = std::any_cast<const AckPayload&>(frame.payload);
-      arrived_wire_.insert(p.request);
+      note_arrival(p.request);
       arrived_acks_.push_back(p);
       break;
     }
@@ -400,6 +408,12 @@ void HeadAgent::on_frame_end(const Frame& frame, NodeId from, bool phy_ok) {
       break;
   }
   (void)from;
+}
+
+void HeadAgent::note_arrival(std::uint32_t wire) {
+  const auto it =
+      std::lower_bound(arrived_wire_.begin(), arrived_wire_.end(), wire);
+  if (it == arrived_wire_.end() || *it != wire) arrived_wire_.insert(it, wire);
 }
 
 void HeadAgent::reset_stats(Time now) {

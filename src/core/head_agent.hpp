@@ -12,7 +12,6 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "core/greedy_scheduler.hpp"
@@ -168,10 +167,18 @@ class HeadAgent : public ChannelListener {
   std::uint32_t slot_in_sector_ = 0;
   int rx_depth_ = 0;
 
-  // Frames that arrived at the head during the current slot.
-  std::set<std::uint32_t> arrived_wire_;
+  /// Record a wire request id arriving at the head this slot.
+  void note_arrival(std::uint32_t wire);
+
+  // Wire request ids that arrived at the head during the current slot:
+  // a flat sorted set, cleared and refilled every slot without
+  // reallocating.
+  std::vector<std::uint32_t> arrived_wire_;
   std::vector<AckPayload> arrived_acks_;
   std::map<NodeId, std::uint32_t> backlog_;
+  // Per-slot scratch reused by finish_slot().
+  std::vector<RequestId> delivered_scratch_;
+  std::vector<RequestId> due_scratch_;
 
   // Fault-recovery state.  A retry-exhausted request raises suspicion on
   // every non-head node of its path; hearing a node (any frame decoded

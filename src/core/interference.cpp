@@ -125,7 +125,13 @@ bool DiscModelOracle::compatible_impl(const TxGroup& group) const {
 bool CachedOracle::compatible(std::span<const Tx> txs) const {
   // Mirror the base class's trivial-group handling so cached and uncached
   // answers agree on every input; only non-trivial groups hit the memo.
-  TxGroup g = normalize(txs);
+  // The scheduler asks about a group per hop per candidate per slot, so
+  // normalization runs in a reusable scratch buffer: the memo key is
+  // copied out only on a miss.
+  TxGroup& g = norm_scratch_;
+  g.assign(txs.begin(), txs.end());
+  std::sort(g.begin(), g.end());
+  g.erase(std::unique(g.begin(), g.end()), g.end());
   if (g.size() <= 1) return g.empty() || g[0].from != g[0].to;
   if (static_cast<int>(g.size()) > order()) return false;
   if (screen_ == PairScreen::kOn && g.size() > 2) {
@@ -155,7 +161,22 @@ bool CachedOracle::compatible(std::span<const Tx> txs) const {
   ++misses_;
   if (miss_counter_) miss_counter_->add();
   const bool ok = inner_.compatible(g);
-  cache_.emplace(std::move(g), ok);
+  cache_.emplace(g, ok);
+  if (screen_ == PairScreen::kOn && ok && g.size() > 2) {
+    // Subset closure (monotone oracles only, like the screen): a
+    // compatible group proves every pair inside it compatible, so seed
+    // those pairs now — the scheduler's first planning pass asks about
+    // pairs before it grows them into triples, and this turns such
+    // queries into hits without an inner-oracle probe.
+    pair_scratch_.resize(2);
+    for (std::size_t i = 0; i + 1 < g.size(); ++i) {
+      pair_scratch_[0] = g[i];
+      for (std::size_t j = i + 1; j < g.size(); ++j) {
+        pair_scratch_[1] = g[j];
+        cache_.try_emplace(pair_scratch_, true);
+      }
+    }
+  }
   return ok;
 }
 

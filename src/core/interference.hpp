@@ -192,15 +192,19 @@ class DiscModelOracle : public CompatibilityOracle {
 /// other oracle.  The inner oracle must outlive the cache.
 class CachedOracle : public CompatibilityOracle {
  public:
-  /// Opt-in pair screening: before consulting the memo (or the inner
-  /// oracle) for a group of three or more, check every pair of the group
-  /// against the cache — a cached-incompatible pair proves the whole
-  /// group incompatible without a new inner query.  Sound only for
-  /// monotone oracles (a conflicting pair conflicts in every superset),
-  /// which holds for SINR-style oracles and structural validity but NOT
-  /// for, e.g., an ExplicitOracle that forbids a pair outright while
-  /// allowing its supersets — hence opt-in.  Screen rejections count as
-  /// hits (they are answered from cached data alone).
+  /// Opt-in pair screening and subset closure: before consulting the
+  /// memo (or the inner oracle) for a group of three or more, check every
+  /// pair of the group against the cache — a cached-incompatible pair
+  /// proves the whole group incompatible without a new inner query.
+  /// Symmetrically, when the inner oracle declares a larger group
+  /// compatible, every pair inside it is seeded into the memo as
+  /// compatible (subset closure), so first-plan pair queries hit.  Both
+  /// directions are sound only for monotone oracles (a subset of a
+  /// compatible group is compatible; a conflicting pair conflicts in
+  /// every superset), which holds for SINR-style oracles and structural
+  /// validity but NOT for, e.g., an ExplicitOracle that forbids a pair
+  /// outright while allowing its supersets — hence opt-in.  Screen
+  /// rejections count as hits (they are answered from cached data alone).
   enum class PairScreen { kOff, kOn };
 
   explicit CachedOracle(const CompatibilityOracle& inner,
@@ -239,6 +243,7 @@ class CachedOracle : public CompatibilityOracle {
   const CompatibilityOracle& inner_;
   PairScreen screen_ = PairScreen::kOff;
   mutable std::unordered_map<TxGroup, bool, TxGroupHash> cache_;
+  mutable TxGroup norm_scratch_;
   mutable TxGroup pair_scratch_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;

@@ -9,6 +9,7 @@
 // no globals, no registration magic.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -102,6 +103,29 @@ class Flags {
     for (const auto& [k, v] : values_)
       if (k == name) return v;
     return fallback;
+  }
+
+  /// The value of a valued flag parsed as a non-negative integer, or
+  /// `fallback` when it was not given.  Anything but plain decimal digits
+  /// (or a value that overflows std::size_t) prints usage and exits 2,
+  /// like every other flag error — no std::stoul exceptions escape.
+  std::size_t count_value(const std::string& name,
+                          std::size_t fallback) const {
+    if (!has(name)) return fallback;
+    const std::string v = value(name);
+    if (v.empty())
+      fail("flag '" + name + "' expects a non-negative integer");
+    std::size_t out = 0;
+    for (const char c : v) {
+      if (c < '0' || c > '9')
+        fail("flag '" + name + "' expects a non-negative integer, got '" +
+             v + "'");
+      const auto digit = static_cast<std::size_t>(c - '0');
+      if (out > (SIZE_MAX - digit) / 10)
+        fail("flag '" + name + "' value '" + v + "' is too large");
+      out = out * 10 + digit;
+    }
+    return out;
   }
 
   /// Positional arguments, in order.

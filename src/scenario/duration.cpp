@@ -7,6 +7,7 @@
 #include <string>
 
 #include "scenario/scenario.hpp"
+#include "util/assertx.hpp"
 
 namespace mhp::scenario {
 
@@ -70,11 +71,18 @@ Time parse_duration(std::string_view text) {
   if (whole > INT64_MAX / ns_per_unit) bad(text, "value too large");
   std::int64_t total = whole * ns_per_unit;
 
-  // frac/frac_den units → (frac * ns_per_unit) / frac_den ns, exactly.
+  // frac/frac_den units → frac * (ns_per_unit / frac_den) ns, exactly.
+  // Reduce *before* multiplying: frac * ns_per_unit overflows 64 bits for
+  // long fractions (e.g. "0.999999999999999999s" ≈ 1e18 · 1e9).  After
+  // stripping trailing zeros, frac < frac_den ≤ ns_per_unit ≤ 1e9, so
+  // frac_ns < ns_per_unit and nothing below can overflow.
   if (frac != 0) {
-    if ((frac * ns_per_unit) % frac_den != 0)
-      bad(text, "not a whole number of nanoseconds");
-    const std::int64_t frac_ns = frac * ns_per_unit / frac_den;
+    while (frac % 10 == 0) {
+      frac /= 10;
+      frac_den /= 10;
+    }
+    if (frac_den > ns_per_unit) bad(text, "not a whole number of nanoseconds");
+    const std::int64_t frac_ns = frac * (ns_per_unit / frac_den);
     if (total > INT64_MAX - frac_ns) bad(text, "value too large");
     total += frac_ns;
   }
@@ -82,6 +90,10 @@ Time parse_duration(std::string_view text) {
 }
 
 std::string format_duration(Time t) {
+  // Durations are unsigned in the scenario schema (parse_duration accepts
+  // no sign), so formatting a negative Time would break the documented
+  // dump→parse round-trip — reject it here instead of emitting "-5ms".
+  MHP_REQUIRE(t >= Time::zero(), "cannot format a negative duration");
   const std::int64_t ns = t.nanos();
   if (ns == 0) return "0s";
   if (ns % 1'000'000'000 == 0)

@@ -6,34 +6,100 @@ namespace mhp {
 
 EventId EventQueue::push(Time when, EventFn fn) {
   MHP_REQUIRE(fn != nullptr, "null event function");
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  pending_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    MHP_REQUIRE(when_.size() < kSlotMask, "event arena full");
+    slot = static_cast<std::uint32_t>(when_.size());
+    when_.emplace_back();
+    seq_.emplace_back();
+    gen_.push_back(1);  // start at 1 so no valid EventId is ever 0
+    heap_pos_.emplace_back();
+    fn_.emplace_back();
+  }
+  when_[slot] = when;
+  seq_[slot] = next_seq_++;
+  fn_[slot] = std::move(fn);
+  heap_pos_[slot] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  return id_of(slot);
 }
 
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
-
-void EventQueue::drop_dead() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+bool EventQueue::cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & kSlotMask);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= gen_.size() || gen_[slot] != gen) return false;
+  heap_remove(heap_pos_[slot]);
+  release_slot(slot);
+  return true;
 }
 
-std::optional<Time> EventQueue::peek_time() {
-  drop_dead();
+std::optional<Time> EventQueue::peek_time() const {
   if (heap_.empty()) return std::nullopt;
-  return heap_.top().when;
+  return when_[heap_[0]];
 }
 
 std::optional<EventQueue::Popped> EventQueue::pop() {
-  drop_dead();
   if (heap_.empty()) return std::nullopt;
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = pending_.find(top.id);
-  MHP_ENSURE(it != pending_.end(), "live heap entry without pending fn");
-  Popped out{top.when, top.id, std::move(it->second)};
-  pending_.erase(it);
+  const std::uint32_t slot = heap_[0];
+  Popped out{when_[slot], id_of(slot), std::move(fn_[slot])};
+  heap_remove(0);
+  release_slot(slot);
   return out;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  fn_[slot] = nullptr;
+  ++gen_[slot];  // invalidate outstanding handles; wraps harmlessly
+  free_.push_back(slot);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos]] = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], slot)) break;
+    heap_[pos] = heap_[best];
+    heap_pos_[heap_[pos]] = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = slot;
+  heap_pos_[slot] = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::heap_remove(std::size_t pos) {
+  MHP_ENSURE(pos < heap_.size(), "heap position out of range");
+  const std::uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  heap_[pos] = last;
+  heap_pos_[last] = static_cast<std::uint32_t>(pos);
+  if (pos > 0 && earlier(last, heap_[(pos - 1) / 4]))
+    sift_up(pos);
+  else
+    sift_down(pos);
 }
 
 }  // namespace mhp

@@ -1,16 +1,31 @@
 // Pending-event set for the discrete-event kernel.
 //
-// A binary heap keyed on (time, sequence) — the sequence number makes
-// same-time events fire in schedule order, which keeps simulations
-// deterministic.  Cancellation is lazy: cancelled entries stay in the heap
-// and are skipped on pop.
+// Events live in a slab arena (structure-of-arrays) indexed by slot.  Handles
+// are generation-tagged: EventId packs (generation << 32 | slot), and the
+// generation is bumped every time a slot is released, so a stale handle from
+// an event that already fired or was cancelled simply fails to match.  Cancel
+// is therefore O(log n) with no hash lookup, and — unlike the previous
+// lazy-cancel design — eagerly removes the heap entry, so a cancel-heavy
+// workload (the poll-timeout retry pattern) keeps both the heap and the arena
+// bounded by the peak number of *live* events.
+//
+// Ordering: a flat 4-ary min-heap over slot indices keyed on (time, sequence).
+// The sequence number makes same-time events fire in schedule order, which
+// keeps simulations deterministic; the arena changes storage only, never the
+// (time, seq) comparison, so fire order is identical to the binary-heap
+// kernel it replaced.
+//
+// Callbacks are stored in EventFn, a move-only callable with inline storage
+// for small targets: the common timer/poll lambdas (a `this` pointer plus a
+// few captured words) allocate nothing on push.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <optional>
-#include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -18,7 +33,132 @@
 namespace mhp {
 
 using EventId = std::uint64_t;
-using EventFn = std::function<void()>;
+
+/// Move-only type-erased `void()` callable with small-buffer storage.
+/// Targets up to kInlineSize bytes with a nothrow move constructor are stored
+/// inline; anything larger falls back to a single heap allocation.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const EventFn& f, std::nullptr_t) { return !f; }
+  friend bool operator==(std::nullptr_t, const EventFn& f) { return !f; }
+  friend bool operator!=(const EventFn& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+  friend bool operator!=(std::nullptr_t, const EventFn& f) {
+    return static_cast<bool>(f);
+  }
+
+  /// Whether the target lives in the inline buffer (no heap allocation).
+  bool is_inline() const { return vt_ != nullptr && vt_->inline_storage; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct the target into dst from src, then destroy src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static void inline_invoke(void* p) {
+    (*std::launder(reinterpret_cast<D*>(p)))();
+  }
+  template <typename D>
+  static void inline_relocate(void* dst, void* src) noexcept {
+    D* s = std::launder(reinterpret_cast<D*>(src));
+    ::new (dst) D(std::move(*s));
+    s->~D();
+  }
+  template <typename D>
+  static void inline_destroy(void* p) noexcept {
+    std::launder(reinterpret_cast<D*>(p))->~D();
+  }
+
+  template <typename D>
+  static D* heap_ptr(void* p) {
+    return *std::launder(reinterpret_cast<D**>(p));
+  }
+  template <typename D>
+  static void heap_invoke(void* p) {
+    (*heap_ptr<D>(p))();
+  }
+  template <typename D>
+  static void heap_relocate(void* dst, void* src) noexcept {
+    ::new (dst) D*(heap_ptr<D>(src));
+  }
+  template <typename D>
+  static void heap_destroy(void* p) noexcept {
+    delete heap_ptr<D>(p);
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVt{&inline_invoke<D>, &inline_relocate<D>,
+                                    &inline_destroy<D>, true};
+  template <typename D>
+  static constexpr VTable kHeapVt{&heap_invoke<D>, &heap_relocate<D>,
+                                  &heap_destroy<D>, false};
+
+  void reset() {
+    if (vt_) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
 
 class EventQueue {
  public:
@@ -26,14 +166,14 @@ class EventQueue {
   EventId push(Time when, EventFn fn);
 
   /// Cancel a pending event.  Returns false if it already fired, was
-  /// cancelled, or never existed.
+  /// cancelled, or never existed (the handle's generation no longer matches).
   bool cancel(EventId id);
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event; nullopt when empty.
-  std::optional<Time> peek_time();
+  std::optional<Time> peek_time() const;
 
   struct Popped {
     Time when;
@@ -43,25 +183,39 @@ class EventQueue {
   /// Remove and return the earliest live event; nullopt when empty.
   std::optional<Popped> pop();
 
+  /// Number of arena slots ever allocated (live + free-listed).  Bounded by
+  /// the peak number of simultaneously live events, independent of how many
+  /// events were pushed or cancelled over the queue's lifetime.
+  std::size_t arena_slots() const { return when_.size(); }
+
  private:
-  struct Entry {
-    Time when;
-    std::uint64_t seq;
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr std::uint64_t kSlotMask = 0xffffffffull;
 
-  /// Pop heap entries whose id is no longer pending (cancelled).
-  void drop_dead();
+  EventId id_of(std::uint32_t slot) const {
+    return (static_cast<std::uint64_t>(gen_[slot]) << 32) | slot;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, EventFn> pending_;
-  EventId next_id_ = 1;
+  bool earlier(std::uint32_t a, std::uint32_t b) const {
+    if (when_[a] != when_[b]) return when_[a] < when_[b];
+    return seq_[a] < seq_[b];
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_remove(std::size_t pos);
+  void release_slot(std::uint32_t slot);
+
+  // Arena (structure-of-arrays, indexed by slot).
+  std::vector<Time> when_;
+  std::vector<std::uint64_t> seq_;
+  std::vector<std::uint32_t> gen_;
+  std::vector<std::uint32_t> heap_pos_;
+  std::vector<EventFn> fn_;
+  std::vector<std::uint32_t> free_;
+
+  // 4-ary min-heap of slot indices ordered by (when, seq).
+  std::vector<std::uint32_t> heap_;
+
   std::uint64_t next_seq_ = 0;
 };
 

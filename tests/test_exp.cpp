@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/routing.hpp"
+#include "exp/flags.hpp"
 #include "exp/sweep.hpp"
 #include "net/deployment.hpp"
 #include "util/rng.hpp"
@@ -131,6 +132,46 @@ TEST(Sweep, ExceptionPropagates) {
                                      }),
                                  2)),
       std::runtime_error);
+}
+
+// ---------- Flags::count_value ----------
+
+mhp::exp::Flags workers_flags(std::vector<const char*> argv) {
+  mhp::exp::Flags flags("test");
+  flags.option("--workers", "N", "worker count");
+  argv.insert(argv.begin(), "prog");
+  flags.parse(static_cast<int>(argv.size()),
+              const_cast<char**>(argv.data()));
+  return flags;
+}
+
+TEST(Flags, CountValueParsesDigitsAndFallsBack) {
+  EXPECT_EQ(workers_flags({"--workers", "8"}).count_value("--workers", 0),
+            8u);
+  EXPECT_EQ(workers_flags({"--workers=0"}).count_value("--workers", 3), 0u);
+  EXPECT_EQ(workers_flags({}).count_value("--workers", 5), 5u);
+}
+
+// Regression: mhp_run used std::stoul on --workers, so "--workers abc"
+// crashed with an uncaught std::invalid_argument instead of the usage +
+// exit 2 every other flag error produces.  count_value is the strict
+// parser path both the single-run and --campaign sites now use.
+TEST(FlagsDeath, NonNumericCountValueIsUsageError) {
+  auto flags = workers_flags({"--workers", "abc"});
+  EXPECT_EXIT(flags.count_value("--workers", 0),
+              testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(FlagsDeath, NegativeCountValueIsUsageError) {
+  auto flags = workers_flags({"--workers", "-2"});
+  EXPECT_EXIT(flags.count_value("--workers", 0),
+              testing::ExitedWithCode(2), "non-negative integer");
+}
+
+TEST(FlagsDeath, OverflowingCountValueIsUsageError) {
+  auto flags = workers_flags({"--workers", "99999999999999999999999"});
+  EXPECT_EXIT(flags.count_value("--workers", 0),
+              testing::ExitedWithCode(2), "too large");
 }
 
 }  // namespace

@@ -64,6 +64,41 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz, ::testing::Range(0, 8));
 
+// The poll-timeout retry pattern: arm a timer, cancel it when the reply
+// arrives, arm the next.  The previous lazy-cancel kernel left one dead
+// heap entry per cancel, so memory grew with the cancel count; the arena
+// kernel must stay bounded by the peak number of *live* events no matter
+// how many events churn through.
+TEST(EventQueueMemory, CancelHeavyWorkloadStaysBounded) {
+  EventQueue q;
+  constexpr std::size_t kTimers = 32;
+  constexpr int kRounds = 100'000;
+  std::vector<EventId> timers;
+  timers.reserve(kTimers);
+  for (std::size_t i = 0; i < kTimers; ++i)
+    timers.push_back(q.push(Time::ns(static_cast<std::int64_t>(i)), [] {}));
+  Rng rng(4242);
+  for (int round = 1; round <= kRounds; ++round) {
+    const std::size_t k = rng.below(kTimers);
+    ASSERT_TRUE(q.cancel(timers[k]));
+    timers[k] =
+        q.push(Time::ns(static_cast<std::int64_t>(round * 7 % 1000)), [] {});
+  }
+  EXPECT_EQ(q.size(), kTimers);
+  // One slot per live timer; the free list never needs more than one
+  // spare (the slot released by the cancel is reused by the next push).
+  EXPECT_LE(q.arena_slots(), kTimers + 1);
+  // Drain in order to prove the heap is intact after the churn.
+  Time last = Time::zero();
+  std::size_t drained = 0;
+  while (auto ev = q.pop()) {
+    EXPECT_GE(ev->when, last);
+    last = ev->when;
+    ++drained;
+  }
+  EXPECT_EQ(drained, kTimers);
+}
+
 // ---------- Greedy scheduler under heavy loss ----------
 
 TEST(GreedyLoss, EveryExecutedSlotIsCompatible) {

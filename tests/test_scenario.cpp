@@ -61,6 +61,66 @@ TEST(Duration, FormatParseRoundTripsArbitraryValues) {
   }
 }
 
+// Regression: the fraction used to be converted as (frac * ns_per_unit)
+// / frac_den, which signed-overflows (UB) once frac has ~18 digits — the
+// reduction must happen before the multiply.  Exercised under UBSan.
+TEST(Duration, LongFractionsDoNotOverflow) {
+  // Finer than 1 ns in every unit: rejected, never UB.
+  for (const char* sub_ns :
+       {"0.999999999999999999s", "1.999999999999999999s",
+        "0.999999999999999999ms", "0.999999999999999999us",
+        "0.999999999999999999ns", "0.100000000000000001s"}) {
+    EXPECT_THROW(parse_duration(sub_ns), ScenarioError) << sub_ns;
+  }
+  // Long but exact fractions (trailing zeros) must still parse: the
+  // reduced value is a whole number of nanoseconds.
+  EXPECT_EQ(parse_duration("0.999999999000000000s"), Time::ns(999'999'999));
+  EXPECT_EQ(parse_duration("0.500000000000000000s"), Time::ms(500));
+  EXPECT_EQ(parse_duration("1.250000000000000000ms"), Time::us(1250));
+  EXPECT_EQ(parse_duration("3.000000000000000000us"), Time::us(3));
+  // Maximum resolution of each unit parses exactly.
+  EXPECT_EQ(parse_duration("0.999999999s"), Time::ns(999'999'999));
+  EXPECT_EQ(parse_duration("0.999999ms"), Time::ns(999'999));
+  EXPECT_EQ(parse_duration("0.999us"), Time::ns(999));
+  // One more fraction digit than the unit resolves: rejected.
+  EXPECT_THROW(parse_duration("0.9999999999s"), ScenarioError);
+  EXPECT_THROW(parse_duration("0.9999999ms"), ScenarioError);
+  EXPECT_THROW(parse_duration("0.9999us"), ScenarioError);
+  EXPECT_THROW(parse_duration("0.9ns"), ScenarioError);
+}
+
+// Regression: format_duration used to emit "-5ms", which parse_duration
+// rejects — breaking the documented dump→parse round-trip.  Negative
+// durations are a contract violation (the scenario schema is unsigned).
+TEST(Duration, FormatRejectsNegativeDurations) {
+  EXPECT_THROW(format_duration(Time::ns(-1)), ContractViolation);
+  EXPECT_THROW(format_duration(Time::ms(-5)), ContractViolation);
+  EXPECT_THROW(format_duration(Time::ns(INT64_MIN)), ContractViolation);
+}
+
+TEST(Duration, RoundTripsBoundaryValueGrid) {
+  const std::int64_t boundaries[] = {0,
+                                     1,
+                                     999,
+                                     1'000,
+                                     1'001,
+                                     999'999,
+                                     1'000'000,
+                                     1'000'001,
+                                     999'999'999,
+                                     1'000'000'000,
+                                     1'000'000'001,
+                                     INT64_MAX - 1,
+                                     INT64_MAX};
+  for (const std::int64_t base : boundaries) {
+    for (const std::int64_t delta : {-1, 0, 1}) {
+      if ((base == INT64_MAX && delta > 0) || base + delta < 0) continue;
+      const Time t = Time::ns(base + delta);
+      EXPECT_EQ(parse_duration(format_duration(t)), t) << base + delta;
+    }
+  }
+}
+
 // ---------- canonical round-trip ----------
 
 std::string canonical_dump(const Scenario& s) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/assertx.hpp"
@@ -84,6 +86,69 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StaleHandleSurvivesSlotReuse) {
+  // The arena recycles slots; a handle from a popped or cancelled event
+  // carries the old generation and must not cancel the slot's new tenant.
+  EventQueue q;
+  const EventId a = q.push(Time::ms(1), [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const EventId b = q.push(Time::ms(2), [] {});  // reuses a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale generation
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.push(Time::ms(1), [] {});
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMidHeapKeepsOrder) {
+  // Cancelling removes the heap entry eagerly; remaining events must
+  // still fire in (time, seq) order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i)
+    ids.push_back(q.push(Time::ms(10 - i), [&order, i] { order.push_back(i); }));
+  for (int i = 1; i < 10; i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  while (auto ev = q.pop()) ev->fn();
+  EXPECT_EQ(order, (std::vector<int>{8, 6, 4, 2, 0}));
+}
+
+TEST(EventFnStorage, SmallCallbacksStoreInlineLargeOnesOnHeap) {
+  int hits = 0;
+  EventFn small([&hits] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  std::array<char, 128> payload{};
+  payload[0] = 7;
+  EventFn large([payload, &hits] { hits += payload[0]; });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(hits, 8);
+}
+
+TEST(EventFnStorage, MoveTransfersTarget) {
+  int hits = 0;
+  EventFn a([&hits] { ++hits; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  EventFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
 }
 
 // ---------- Simulator ----------

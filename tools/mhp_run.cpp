@@ -17,6 +17,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -121,13 +122,12 @@ int validate_trace(const std::vector<std::string>& paths) {
 }
 
 int run_one(const std::string& path, const std::string& out,
-            const std::string& workers, const std::string& profile_out,
-            const std::string& samples_out) {
+            std::optional<std::size_t> workers,
+            const std::string& profile_out, const std::string& samples_out) {
   scenario::Scenario s = scenario::parse_scenario_text(read_file(path));
   // --workers on a single run overrides the scenario's routing worker
   // count (reports are byte-identical for any value).
-  if (!workers.empty())
-    s.route_workers = static_cast<std::size_t>(std::stoul(workers));
+  if (workers.has_value()) s.route_workers = *workers;
 
   scenario::RunScenarioOptions opts;
   std::ofstream trace_file, samples_file;
@@ -223,14 +223,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (flags.has("--campaign")) {
-      const std::string workers = flags.value("--workers", "0");
       return run_campaign_file(flags.args().front(),
                                flags.value("--out-dir", "."),
-                               static_cast<std::size_t>(
-                                   std::stoul(workers)));
+                               flags.count_value("--workers", 0));
     }
     return run_one(flags.args().front(), flags.value("--out"),
-                   flags.value("--workers", ""),
+                   flags.has("--workers")
+                       ? std::optional(flags.count_value("--workers", 0))
+                       : std::nullopt,
                    flags.value("--profile-out", ""),
                    flags.value("--samples-out", ""));
   } catch (const std::exception& e) {
