@@ -1,8 +1,9 @@
 // Hot-path scaling trajectory: topology construction (spatial grid vs the
 // O(n²) brute-force reference), min-max-load routing (warm-start
-// RoutingEngine vs a from-zero δ-search), one full greedy polling cycle,
-// and an event-kernel churn phase over n ∈ {50, 200, 500, 1000, 5000,
-// 20000, 100000} sensors at constant density.
+// RoutingEngine vs a from-zero δ-search, plus the 8-worker speculative
+// δ-probe + cell-floor configuration, checked byte-identical), one full
+// greedy polling cycle, and an event-kernel churn phase over n ∈ {50,
+// 200, 500, 1000, 5000, 20000, 100000} sensors at constant density.
 //
 // The polling cycle runs the offline greedy scheduler through a
 // pair-screening CachedOracle over the disc interference model, so the
@@ -15,9 +16,10 @@
 // beyond that they read 0 = skipped.
 //
 //   --smoke               small points only (n ∈ {50, 200}) for CI
-//   --baseline <path>     after running, compare the n=200 tx/sec and
-//                         per-phase times against the floor/budgets
-//                         recorded in <path>; exit 1 on regression
+//   --baseline <path>     after running, compare every measured point's
+//                         tx/sec and per-phase times against the
+//                         floor/budgets recorded in <path> for that
+//                         point; exit 1 on regression
 //   --profile-out <path>  record profiler spans across all points and
 //                         write Chrome trace-event JSON here; also fills
 //                         the span_*_ms columns (0 when not profiling)
@@ -26,6 +28,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +42,7 @@
 #include "net/deployment.hpp"
 #include "obs/json.hpp"
 #include "obs/profiler.hpp"
+#include "route/cell_grid.hpp"
 #include "route/routing_engine.hpp"
 #include "sim/simulator.hpp"
 #include "util/assertx.hpp"
@@ -58,6 +63,22 @@ struct Point {
   std::size_t sensors;
 };
 
+/// Full-fidelity serialization of a routing result — the parallel-probe
+/// determinism gate compares these byte-for-byte against the serial solve.
+std::string route_fingerprint(const mhp::MinMaxLoadResult& r) {
+  std::ostringstream out;
+  out << r.feasible << ' ' << r.max_load << '\n';
+  for (std::size_t s = 0; s < r.paths.size(); ++s) {
+    out << s << ' ' << r.load[s] << ':';
+    for (const mhp::UnitPath& p : r.paths[s]) {
+      for (mhp::NodeId hop : p.hops) out << ' ' << hop;
+      out << " x" << p.units << ';';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
 struct Result {
   double topo_grid_ms = 0.0;
   double topo_brute_ms = 0.0;  // 0 = skipped (n > 1000)
@@ -65,6 +86,8 @@ struct Result {
   double routing_ms = 0.0;       // warm-start engine (production path)
   double routing_cold_ms = 0.0;  // from-zero δ-search; 0 = skipped
   double routing_speedup = 0.0;
+  double routing_par_ms = 0.0;  // 8-worker speculative probes + cell floor
+  double routing_par_speedup = 0.0;  // serial / parallel
   long long polling_slots = 0;
   long long polling_tx = 0;
   double polling_ms = 0.0;
@@ -74,6 +97,7 @@ struct Result {
   double floor_tx_per_sec = 0.0;
   double budget_topo_ms = 0.0;
   double budget_routing_ms = 0.0;
+  double budget_routing_par_ms = 0.0;
   double budget_polling_ms = 0.0;
   double kernel_ms = 0.0;  // event-kernel churn (n polls, cancel-heavy)
   double budget_kernel_ms = 0.0;
@@ -199,6 +223,36 @@ Result run_point(const Point& p) {
                               ? out.routing_cold_ms / out.routing_ms
                               : 0.0;
   }
+
+  // Speculative parallel δ-probes + per-cell δ floor (the multi-core
+  // single-cluster path).  The result must be byte-identical to the
+  // serial solve — δ* is schedule-invariant and the decomposed flow
+  // always comes from the one from-zero solve at δ* — so any worker
+  // count only changes the wall clock, never the plan.
+  {
+    route::RoutingEngine par({MaxFlowAlgo::kDinic, /*warm_start=*/true,
+                              /*probe_workers=*/8});
+    par.set_cell_hint(route::grid_cells(
+        std::span(dep.positions.data(), dep.num_sensors())));
+    t0 = Clock::now();
+    const MinMaxLoadResult par_solution = [&] {
+      MHP_SPAN("bench/routing_par");
+      return par.solve_balanced(topo, demand);
+    }();
+    out.routing_par_ms = ms_since(t0);
+    MHP_REQUIRE(route_fingerprint(par_solution) == route_fingerprint(solution),
+                "8-worker routing solve diverged from serial");
+    out.routing_par_speedup = out.routing_par_ms > 0.0
+                                  ? out.routing_ms / out.routing_par_ms
+                                  : 0.0;
+    if (reference) {
+      route::RoutingEngine par4(
+          {MaxFlowAlgo::kDinic, /*warm_start=*/true, /*probe_workers=*/4});
+      MHP_REQUIRE(route_fingerprint(par4.solve_balanced(topo, demand)) ==
+                      route_fingerprint(solution),
+                  "4-worker routing solve diverged from serial");
+    }
+  }
   const RelayPlan plan(topo, std::move(solution));
 
   // One polling cycle: drain every sensor's packet through the greedy
@@ -234,47 +288,54 @@ Result run_point(const Point& p) {
   out.floor_tx_per_sec = out.tx_per_sec / 20.0;
   out.budget_topo_ms = out.topo_grid_ms * 20.0;
   out.budget_routing_ms = out.routing_ms * 20.0;
+  out.budget_routing_par_ms = out.routing_par_ms * 20.0;
   out.budget_polling_ms = out.polling_ms * 20.0;
   out.budget_kernel_ms = out.kernel_ms * 20.0;
   return out;
 }
 
-/// The committed baseline's gates for the n=200 point.  Absent fields
-/// read -1 (their check is skipped), so older baselines still gate.
+/// One point's gates from the committed baseline.  Absent fields read -1
+/// (their check is skipped), so older baselines still gate.  Every point
+/// present in both the baseline and the current run is gated: CI's smoke
+/// run checks n=200, a full run additionally checks the n=100000 row.
 struct BaselineGates {
   double floor_tx_per_sec = -1.0;
   double budget_topo_ms = -1.0;
   double budget_routing_ms = -1.0;
+  double budget_routing_par_ms = -1.0;
   double budget_polling_ms = -1.0;
   double budget_kernel_ms = -1.0;
 };
 
-BaselineGates baseline_gates(const std::string& path, bool& found) {
-  BaselineGates g;
+std::map<long long, BaselineGates> baseline_gates(const std::string& path,
+                                                  bool& found) {
+  std::map<long long, BaselineGates> gates;
   found = false;
   std::ifstream in(path);
-  if (!in) return g;
+  if (!in) return gates;
   std::ostringstream buf;
   buf << in.rdbuf();
   const mhp::obs::Json doc = mhp::obs::parse_json(buf.str());
   const mhp::obs::Json* points = doc.find("points");
-  if (points == nullptr || !points->is_array()) return g;
+  if (points == nullptr || !points->is_array()) return gates;
   for (std::size_t i = 0; i < points->size(); ++i) {
     const mhp::obs::Json& row = points->at(i);
     const mhp::obs::Json* n = row.find("sensors");
-    if (n == nullptr || n->as_int() != 200) continue;
+    if (n == nullptr) continue;
+    BaselineGates g;
     const auto read = [&row](const char* key, double& dst) {
       if (const mhp::obs::Json* v = row.find(key)) dst = v->as_double();
     };
     read("floor_tx_per_sec", g.floor_tx_per_sec);
     read("budget_topo_ms", g.budget_topo_ms);
     read("budget_routing_ms", g.budget_routing_ms);
+    read("budget_routing_par_ms", g.budget_routing_par_ms);
     read("budget_polling_ms", g.budget_polling_ms);
     read("budget_kernel_ms", g.budget_kernel_ms);
-    found = g.floor_tx_per_sec >= 0.0;
-    return g;
+    if (n->as_int() == 200 && g.floor_tx_per_sec >= 0.0) found = true;
+    gates.emplace(n->as_int(), g);
   }
-  return g;
+  return gates;
 }
 
 }  // namespace
@@ -292,7 +353,7 @@ int main(int argc, char** argv) {
   const std::string profile_path = flags.value("--profile-out");
   // Parse the baseline up front: this run overwrites BENCH_perf.json in
   // the working directory, and CI points --baseline at the committed copy.
-  BaselineGates gates;
+  std::map<long long, BaselineGates> gates;
   if (!baseline_path.empty()) {
     bool found = false;
     gates = baseline_gates(baseline_path, found);
@@ -366,9 +427,11 @@ int main(int argc, char** argv) {
 
   Table table({"sensors", "topo grid ms", "topo brute ms", "topo_speedup",
                "routing ms", "routing cold ms", "routing_speedup",
+               "routing_par ms", "routing_par_speedup",
                "polling_slots", "polling tx", "polling ms", "tx_per_sec",
                "cache_hit_rate", "screened", "floor_tx_per_sec",
-               "budget_topo_ms", "budget_routing_ms", "budget_polling_ms",
+               "budget_topo_ms", "budget_routing_ms",
+               "budget_routing_par_ms", "budget_polling_ms",
                "span_topo_ms", "span_routing_ms", "span_polling_ms",
                "kernel ms", "budget_kernel_ms", "span_kernel_ms"});
   table.set_precision(1, 3);
@@ -377,28 +440,33 @@ int main(int argc, char** argv) {
   table.set_precision(4, 2);
   table.set_precision(5, 2);
   table.set_precision(6, 2);
-  table.set_precision(9, 2);
-  table.set_precision(10, 0);
-  table.set_precision(11, 3);
-  table.set_precision(13, 0);
-  table.set_precision(14, 1);
-  table.set_precision(15, 1);
+  table.set_precision(7, 2);
+  table.set_precision(8, 2);
+  table.set_precision(11, 2);
+  table.set_precision(12, 0);
+  table.set_precision(13, 3);
+  table.set_precision(15, 0);
   table.set_precision(16, 1);
-  table.set_precision(17, 3);
-  table.set_precision(18, 2);
-  table.set_precision(19, 2);
+  table.set_precision(17, 1);
+  table.set_precision(18, 1);
+  table.set_precision(19, 1);
   table.set_precision(20, 3);
-  table.set_precision(21, 1);
-  table.set_precision(22, 3);
+  table.set_precision(21, 2);
+  table.set_precision(22, 2);
+  table.set_precision(23, 3);
+  table.set_precision(24, 1);
+  table.set_precision(25, 3);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Result& r = results[i];
     table.add_row({static_cast<long long>(points[i].sensors),
                    r.topo_grid_ms, r.topo_brute_ms, r.topo_speedup,
                    r.routing_ms, r.routing_cold_ms, r.routing_speedup,
+                   r.routing_par_ms, r.routing_par_speedup,
                    r.polling_slots, r.polling_tx, r.polling_ms,
                    r.tx_per_sec, r.cache_hit_rate, r.screened,
                    r.floor_tx_per_sec, r.budget_topo_ms,
-                   r.budget_routing_ms, r.budget_polling_ms,
+                   r.budget_routing_ms, r.budget_routing_par_ms,
+                   r.budget_polling_ms,
                    r.span_topo_ms, r.span_routing_ms, r.span_polling_ms,
                    r.kernel_ms, r.budget_kernel_ms, r.span_kernel_ms});
     recorder.add_events(static_cast<std::uint64_t>(r.polling_tx));
@@ -408,36 +476,43 @@ int main(int argc, char** argv) {
   mhp::exp::save_bench_json("perf", table, recorder);
 
   if (!baseline_path.empty()) {
-    const Result* current = nullptr;
-    for (std::size_t i = 0; i < points.size(); ++i)
-      if (points[i].sensors == 200) current = &results[i];
-    MHP_REQUIRE(current != nullptr, "n=200 point missing from this run");
     bool ok = true;
-    if (current->tx_per_sec < gates.floor_tx_per_sec) {
-      std::fprintf(stderr,
-                   "perf_scaling: REGRESSION — n=200 tx/sec %.0f below "
-                   "baseline floor %.0f\n",
-                   current->tx_per_sec, gates.floor_tx_per_sec);
-      ok = false;
+    std::size_t gated = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto it = gates.find(static_cast<long long>(points[i].sensors));
+      if (it == gates.end()) continue;
+      const long long n = it->first;
+      const BaselineGates& g = it->second;
+      const Result& r = results[i];
+      ++gated;
+      if (g.floor_tx_per_sec >= 0.0 && r.tx_per_sec < g.floor_tx_per_sec) {
+        std::fprintf(stderr,
+                     "perf_scaling: REGRESSION — n=%lld tx/sec %.0f below "
+                     "baseline floor %.0f\n",
+                     n, r.tx_per_sec, g.floor_tx_per_sec);
+        ok = false;
+      }
+      const auto check_budget = [&](const char* phase, double ms,
+                                    double budget) {
+        if (budget < 0.0 || ms <= budget) return;
+        std::fprintf(stderr,
+                     "perf_scaling: REGRESSION — n=%lld %s %.2f ms over "
+                     "baseline budget %.2f ms\n",
+                     n, phase, ms, budget);
+        ok = false;
+      };
+      check_budget("topology", r.topo_grid_ms, g.budget_topo_ms);
+      check_budget("routing", r.routing_ms, g.budget_routing_ms);
+      check_budget("routing_par", r.routing_par_ms, g.budget_routing_par_ms);
+      check_budget("polling", r.polling_ms, g.budget_polling_ms);
+      check_budget("kernel", r.kernel_ms, g.budget_kernel_ms);
     }
-    const auto check_budget = [&](const char* phase, double ms,
-                                  double budget) {
-      if (budget < 0.0 || ms <= budget) return;
-      std::fprintf(stderr,
-                   "perf_scaling: REGRESSION — n=200 %s %.2f ms over "
-                   "baseline budget %.2f ms\n",
-                   phase, ms, budget);
-      ok = false;
-    };
-    check_budget("topology", current->topo_grid_ms, gates.budget_topo_ms);
-    check_budget("routing", current->routing_ms, gates.budget_routing_ms);
-    check_budget("polling", current->polling_ms, gates.budget_polling_ms);
-    check_budget("kernel", current->kernel_ms, gates.budget_kernel_ms);
+    MHP_REQUIRE(gated > 0, "no baseline-gated point in this run");
     if (!ok) return 1;
     std::printf(
-        "perf gates ok: n=200 tx/sec %.0f >= floor %.0f; phase times "
-        "within budgets\n",
-        current->tx_per_sec, gates.floor_tx_per_sec);
+        "perf gates ok: %zu point(s) at or above the tx/sec floor and "
+        "within every phase budget\n",
+        gated);
   }
   return 0;
 }

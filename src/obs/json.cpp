@@ -1,11 +1,13 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 namespace mhp::obs {
 
@@ -39,7 +41,15 @@ bool Json::as_bool() const {
 
 std::int64_t Json::as_int() const {
   if (type_ == Type::kInt) return int_;
-  if (type_ == Type::kDouble) return static_cast<std::int64_t>(double_);
+  if (type_ == Type::kDouble) {
+    // int64 covers [-2^63, 2^63); both bounds are exact doubles, and the
+    // half-open test keeps the cast defined (2^63 itself must throw).
+    // NaN fails the comparison and lands in out_of_range too.
+    if (!(double_ >= -0x1p63 && double_ < 0x1p63))
+      throw std::out_of_range("Json: double value outside int64 range");
+    if (std::trunc(double_) != double_) type_error("an integer");
+    return static_cast<std::int64_t>(double_);
+  }
   type_error("a number");
 }
 
@@ -155,17 +165,31 @@ std::string json_escape(std::string_view s) {
 
 namespace {
 
+void write_int(std::ostream& os, std::int64_t v) {
+  // to_chars, not operator<<: a grouping std::locale imbued globally
+  // would render 10000 as "10,000" through the stream.
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  os << std::string_view(buf, static_cast<std::size_t>(end - buf));
+  static_cast<void>(ec);  // int64 always fits in 24 chars
+}
+
 void write_double(std::ostream& os, double v) {
   if (!std::isfinite(v)) {
     // JSON has no inf/nan; null is the conventional stand-in.
     os << "null";
     return;
   }
+  // to_chars(general, 17) is specified as printf "%.17g" in the C locale,
+  // so the bytes match the old snprintf output everywhere while ignoring
+  // the global locale's decimal point.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  os << buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v,
+                                       std::chars_format::general, 17);
+  static_cast<void>(ec);  // 40 chars cover every %.17g rendering
+  const std::string_view sv(buf, static_cast<std::size_t>(end - buf));
+  os << sv;
   // Keep a number marker so the value parses back as a double.
-  std::string_view sv(buf);
   if (sv.find_first_of(".eE") == std::string_view::npos) os << ".0";
 }
 
@@ -185,7 +209,7 @@ void Json::write_impl(std::ostream& os, int indent, int depth) const {
       os << (bool_ ? "true" : "false");
       break;
     case Type::kInt:
-      os << int_;
+      write_int(os, int_);
       break;
     case Type::kDouble:
       write_double(os, double_);
@@ -460,13 +484,24 @@ class Parser {
     }
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
       fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    try {
-      if (is_double) return Json(std::stod(token));
-      return Json(static_cast<long long>(std::stoll(token)));
-    } catch (const std::exception&) {
-      fail("bad number \"" + token + "\"");
+    // from_chars, not stod/stoll: locale-independent, no ERANGE throw on
+    // subnormals, and the whole-token check below rejects malformed
+    // shapes the scanner's character class admits ("1..2", "1e+5e-2",
+    // "1e") instead of silently parsing a prefix.
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (is_double) {
+      double v = 0.0;
+      const auto [p, ec] = std::from_chars(first, last, v);
+      if (p != last || ec != std::errc{})
+        fail("bad number \"" + std::string(first, last) + "\"");
+      return Json(v);
     }
+    std::int64_t v = 0;
+    const auto [p, ec] = std::from_chars(first, last, v);
+    if (p != last || ec != std::errc{})
+      fail("bad number \"" + std::string(first, last) + "\"");
+    return Json(v);
   }
 
   std::string_view text_;

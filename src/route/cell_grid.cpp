@@ -1,0 +1,56 @@
+#include "route/cell_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mhp::route {
+
+std::vector<std::int32_t> grid_cells(std::span<const Vec2> positions,
+                                     double cell_size) {
+  std::vector<std::int32_t> cells(positions.size(), 0);
+  if (positions.empty() || !(cell_size > 0.0)) return cells;
+  double min_x = positions[0].x, max_x = positions[0].x;
+  double min_y = positions[0].y, max_y = positions[0].y;
+  for (const Vec2& p : positions) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  // ceil(extent / cell_size) rows/columns; points exactly on the far
+  // bounding-box edge clamp into the last cell instead of spilling into
+  // a one-point extra row.
+  const auto span_cells = [cell_size](double extent) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(extent / cell_size)));
+  };
+  const std::int64_t cols = span_cells(max_x - min_x);
+  const std::int64_t rows = span_cells(max_y - min_y);
+  const auto cell_of = [cell_size](double v, double lo, std::int64_t count) {
+    const auto c = static_cast<std::int64_t>(std::floor((v - lo) / cell_size));
+    return std::clamp<std::int64_t>(c, 0, count - 1);
+  };
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::int64_t cx = cell_of(positions[i].x, min_x, cols);
+    const std::int64_t cy = cell_of(positions[i].y, min_y, rows);
+    cells[i] = static_cast<std::int32_t>(cy * cols + cx);
+  }
+  return cells;
+}
+
+std::vector<std::int32_t> grid_cells(std::span<const Vec2> positions) {
+  if (positions.empty()) return {};
+  double min_x = positions[0].x, max_x = positions[0].x;
+  double min_y = positions[0].y, max_y = positions[0].y;
+  for (const Vec2& p : positions) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double side = std::max(max_x - min_x, max_y - min_y);
+  // side == 0 (all points coincide) collapses to a single cell below.
+  return grid_cells(positions, side > 0.0 ? side / 16.0 : 1.0);
+}
+
+}  // namespace mhp::route

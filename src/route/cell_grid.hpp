@@ -1,0 +1,33 @@
+// Spatial cell partition for the routing engine's per-cell δ floor.
+//
+// The engine's cell floor (see RoutingEngine::set_cell_hint) accepts ANY
+// partition of the sensor set — correctness never depends on geometry —
+// but a spatially coherent partition makes the per-cell relaxations
+// tight, and the PR 4 spatial grid is the natural source of one.  These
+// helpers bucket sensor positions into a square grid over their bounding
+// box, exactly the cell structure disc_topology uses, and return a flat
+// cell id per sensor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/geometry.hpp"
+
+namespace mhp::route {
+
+/// Cell id per position: square grid of side `cell_size` over the
+/// positions' bounding box, row-major ids.  Degenerate inputs (empty
+/// span, non-positive cell size, single point) collapse to one cell.
+std::vector<std::int32_t> grid_cells(std::span<const Vec2> positions,
+                                     double cell_size);
+
+/// Heuristic grid for a deployment of unknown radio range: a 16×16 grid
+/// over the bounding box (≤256 cells), which keeps per-cell subproblems
+/// around n/256 sensors — big enough to capture local relay congestion,
+/// small enough that the batch of cell solves costs a fraction of one
+/// full-cluster δ-probe.
+std::vector<std::int32_t> grid_cells(std::span<const Vec2> positions);
+
+}  // namespace mhp::route

@@ -4,48 +4,65 @@
 
 namespace mhp::route {
 
+FlowGraph::Structure& FlowGraph::mutable_structure() {
+  // A structure referenced by clones is frozen; building a new problem on
+  // this graph must not mutate it under them.
+  if (s_.use_count() > 1) s_ = std::make_shared<Structure>();
+  return *s_;
+}
+
 void FlowGraph::reset(int num_nodes) {
   MHP_REQUIRE(num_nodes >= 0, "negative node count");
-  num_nodes_ = num_nodes;
-  from_.clear();
-  to_.clear();
+  Structure& s = mutable_structure();
+  s.num_nodes = num_nodes;
+  s.from.clear();
+  s.to.clear();
+  s.csr_built = false;
   cap_.clear();
   cap_init_.clear();
-  csr_built_ = false;
 }
 
 int FlowGraph::add_arc(int u, int v, Cap cap) {
-  MHP_REQUIRE(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+  Structure& s = *s_;
+  MHP_REQUIRE(u >= 0 && u < s.num_nodes && v >= 0 && v < s.num_nodes,
               "arc endpoint out of range");
   MHP_REQUIRE(cap >= 0, "negative capacity");
-  MHP_REQUIRE(!csr_built_, "arc added after build_csr");
+  MHP_REQUIRE(!s.csr_built, "arc added after build_csr");
   const int e = num_arcs();
-  from_.push_back(u);
-  to_.push_back(v);
+  s.from.push_back(u);
+  s.to.push_back(v);
   cap_.push_back(cap);
   cap_init_.push_back(cap);
   // Residual twin.
-  from_.push_back(v);
-  to_.push_back(u);
+  s.from.push_back(v);
+  s.to.push_back(u);
   cap_.push_back(0);
   cap_init_.push_back(0);
   return e;
 }
 
 void FlowGraph::build_csr() {
-  MHP_REQUIRE(!csr_built_, "build_csr called twice");
-  const std::size_t m = to_.size();
-  csr_begin_.assign(static_cast<std::size_t>(num_nodes_) + 1, 0);
-  for (std::size_t e = 0; e < m; ++e) ++csr_begin_[from_[e] + 1];
-  for (int v = 0; v < num_nodes_; ++v) csr_begin_[v + 1] += csr_begin_[v];
+  Structure& s = *s_;
+  MHP_REQUIRE(!s.csr_built, "build_csr called twice");
+  const std::size_t m = s.to.size();
+  s.csr_begin.assign(static_cast<std::size_t>(s.num_nodes) + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) ++s.csr_begin[s.from[e] + 1];
+  for (int v = 0; v < s.num_nodes; ++v) s.csr_begin[v + 1] += s.csr_begin[v];
   // Counting sort by tail node, ascending arc id within each node: the
   // per-node sequence matches push_back insertion order exactly.
-  csr_arcs_.resize(m);
-  csr_cursor_.assign(csr_begin_.begin(), csr_begin_.end());
+  s.csr_arcs.resize(m);
+  s.csr_cursor.assign(s.csr_begin.begin(), s.csr_begin.end());
   for (std::size_t e = 0; e < m; ++e)
-    csr_arcs_[static_cast<std::size_t>(csr_cursor_[from_[e]]++)] =
+    s.csr_arcs[static_cast<std::size_t>(s.csr_cursor[s.from[e]]++)] =
         static_cast<std::int32_t>(e);
-  csr_built_ = true;
+  s.csr_built = true;
+}
+
+void FlowGraph::adopt(const FlowGraph& base) {
+  MHP_REQUIRE(base.s_->csr_built, "adopt of an unfrozen graph");
+  s_ = base.s_;
+  cap_ = base.cap_;
+  cap_init_ = base.cap_init_;
 }
 
 void FlowGraph::push(int e, Cap amount) {
@@ -64,7 +81,7 @@ void FlowGraph::set_capacity(int e, Cap cap) {
 }
 
 void FlowGraph::install_flow(std::span<const Cap> fwd) {
-  MHP_REQUIRE(fwd.size() * 2 == to_.size(), "flow snapshot size mismatch");
+  MHP_REQUIRE(fwd.size() * 2 == s_->to.size(), "flow snapshot size mismatch");
   for (std::size_t k = 0; k < fwd.size(); ++k) {
     const Cap f = fwd[k];
     MHP_REQUIRE(f >= 0 && f <= cap_init_[2 * k],
@@ -75,7 +92,7 @@ void FlowGraph::install_flow(std::span<const Cap> fwd) {
 }
 
 void FlowGraph::save_flow(std::vector<Cap>& fwd) const {
-  fwd.resize(to_.size() / 2);
+  fwd.resize(s_->to.size() / 2);
   for (std::size_t k = 0; k < fwd.size(); ++k)
     fwd[k] = cap_init_[2 * k] - cap_[2 * k];
 }

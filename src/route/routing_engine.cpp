@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "obs/profiler.hpp"
 #include "util/assertx.hpp"
@@ -25,6 +26,9 @@ struct Layout {
 };
 
 }  // namespace
+
+RoutingEngine::RoutingEngine(SolvePolicy policy) : policy_(policy) {}
+RoutingEngine::~RoutingEngine() = default;
 
 void RoutingEngine::build_network(const ClusterTopology& topo,
                                   const std::vector<Cap>& demand,
@@ -102,34 +106,35 @@ FlowGraph::Cap RoutingEngine::prime_from_hint(
   return primed;
 }
 
-FlowGraph::Cap RoutingEngine::augment() {
-  return policy_.algo == MaxFlowAlgo::kEdmondsKarp ? augment_edmonds_karp()
-                                                   : augment_dinic();
+FlowGraph::Cap RoutingEngine::MaxFlowWork::augment(FlowGraph& g,
+                                                   MaxFlowAlgo algo) {
+  return algo == MaxFlowAlgo::kEdmondsKarp ? augment_edmonds_karp(g)
+                                           : augment_dinic(g);
 }
 
-FlowGraph::Cap RoutingEngine::augment_edmonds_karp() {
+FlowGraph::Cap RoutingEngine::MaxFlowWork::augment_edmonds_karp(FlowGraph& g) {
   const int s = Layout::source();
   const int t = Layout::sink();
   Cap total = 0;
-  auto& pred_arc = level_;  // -1 unvisited, -2 source, else arc into node
+  auto& pred_arc = level;  // -1 unvisited, -2 source, else arc into node
   for (;;) {
     // BFS for a shortest augmenting path in the residual graph.
-    pred_arc.assign(static_cast<std::size_t>(g_.num_nodes()), -1);
-    queue_.clear();
-    queue_.push_back(s);
+    pred_arc.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+    queue.clear();
+    queue.push_back(s);
     pred_arc[s] = -2;
     bool found = false;
-    for (std::size_t head = 0; head < queue_.size() && !found; ++head) {
-      const int v = queue_[head];
-      for (const int e : g_.arcs_out(v)) {
-        const int w = g_.arc_to(e);
-        if (pred_arc[w] == -1 && g_.residual(e) > 0) {
+    for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+      const int v = queue[head];
+      for (const int e : g.arcs_out(v)) {
+        const int w = g.arc_to(e);
+        if (pred_arc[w] == -1 && g.residual(e) > 0) {
           pred_arc[w] = e;
           if (w == t) {
             found = true;
             break;
           }
-          queue_.push_back(w);
+          queue.push_back(w);
         }
       }
     }
@@ -137,60 +142,61 @@ FlowGraph::Cap RoutingEngine::augment_edmonds_karp() {
     Cap bottleneck = FlowGraph::kInfinite;
     for (int v = t; v != s;) {
       const int e = pred_arc[v];
-      bottleneck = std::min(bottleneck, g_.residual(e));
-      v = g_.arc_from(e);
+      bottleneck = std::min(bottleneck, g.residual(e));
+      v = g.arc_from(e);
     }
     for (int v = t; v != s;) {
       const int e = pred_arc[v];
-      g_.push(e, bottleneck);
-      v = g_.arc_from(e);
+      g.push(e, bottleneck);
+      v = g.arc_from(e);
     }
     total += bottleneck;
   }
 }
 
-bool RoutingEngine::dinic_bfs() {
+bool RoutingEngine::MaxFlowWork::dinic_bfs(FlowGraph& g) {
   const int s = Layout::source();
   const int t = Layout::sink();
-  level_.assign(static_cast<std::size_t>(g_.num_nodes()), -1);
-  queue_.clear();
-  level_[s] = 0;
-  queue_.push_back(s);
-  for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const int v = queue_[head];
-    for (const int e : g_.arcs_out(v)) {
-      const int w = g_.arc_to(e);
-      if (level_[w] < 0 && g_.residual(e) > 0) {
-        level_[w] = level_[v] + 1;
-        queue_.push_back(w);
+  level.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  queue.clear();
+  level[s] = 0;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int v = queue[head];
+    for (const int e : g.arcs_out(v)) {
+      const int w = g.arc_to(e);
+      if (level[w] < 0 && g.residual(e) > 0) {
+        level[w] = level[v] + 1;
+        queue.push_back(w);
       }
     }
   }
-  return level_[t] >= 0;
+  return level[t] >= 0;
 }
 
-FlowGraph::Cap RoutingEngine::dinic_dfs(int v, Cap limit) {
+FlowGraph::Cap RoutingEngine::MaxFlowWork::dinic_dfs(FlowGraph& g, int v,
+                                                     Cap limit) {
   if (v == Layout::sink()) return limit;
-  const auto arcs = g_.arcs_out(v);
-  for (auto& i = iter_[static_cast<std::size_t>(v)]; i < arcs.size(); ++i) {
+  const auto arcs = g.arcs_out(v);
+  for (auto& i = iter[static_cast<std::size_t>(v)]; i < arcs.size(); ++i) {
     const int e = arcs[i];
-    const int w = g_.arc_to(e);
-    if (g_.residual(e) <= 0 || level_[w] != level_[v] + 1) continue;
-    const Cap pushed = dinic_dfs(w, std::min(limit, g_.residual(e)));
+    const int w = g.arc_to(e);
+    if (g.residual(e) <= 0 || level[w] != level[v] + 1) continue;
+    const Cap pushed = dinic_dfs(g, w, std::min(limit, g.residual(e)));
     if (pushed > 0) {
-      g_.push(e, pushed);
+      g.push(e, pushed);
       return pushed;
     }
   }
   return 0;
 }
 
-FlowGraph::Cap RoutingEngine::augment_dinic() {
+FlowGraph::Cap RoutingEngine::MaxFlowWork::augment_dinic(FlowGraph& g) {
   Cap total = 0;
-  while (dinic_bfs()) {
-    iter_.assign(static_cast<std::size_t>(g_.num_nodes()), 0);
+  while (dinic_bfs(g)) {
+    iter.assign(static_cast<std::size_t>(g.num_nodes()), 0);
     for (;;) {
-      const Cap pushed = dinic_dfs(Layout::source(), FlowGraph::kInfinite);
+      const Cap pushed = dinic_dfs(g, Layout::source(), FlowGraph::kInfinite);
       if (pushed == 0) break;
       total += pushed;
     }
@@ -331,6 +337,324 @@ void RoutingEngine::decompose(const ClusterTopology& topo,
   }
 }
 
+FlowGraph::Cap RoutingEngine::analytic_floor(
+    const ClusterTopology& topo, const std::vector<Cap>& demand) const {
+  const std::size_t n = topo.num_sensors();
+  // Per-level cuts: a unit path's level drops by at most 1 per hop, so
+  // every unit originating at level ≥ L is transmitted by at least one
+  // level-L sensor, giving Σ_{level≥L} demand ≤ δ · Σ_{level=L} weight.
+  // L = 1 is the classic head cut (all flow crosses the first level).
+  const std::size_t max_l = topo.max_level();
+  std::vector<Cap> level_weight(max_l + 1, 0);
+  std::vector<Cap> level_demand(max_l + 1, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    const std::size_t l = topo.level(s);
+    if (l == ClusterTopology::kUnreachable) continue;  // demand 0 by now
+    level_weight[l] += weight_[s];
+    level_demand[l] += demand[s];
+  }
+  Cap lb = 1;
+  Cap suffix = 0;
+  for (std::size_t l = max_l; l >= 1; --l) {
+    suffix += level_demand[l];
+    if (level_weight[l] > 0)
+      lb = std::max(lb, (suffix + level_weight[l] - 1) / level_weight[l]);
+  }
+  // Each sensor's own demand crosses its capacity arc: δ·wₛ ≥ demandₛ.
+  for (NodeId s = 0; s < n; ++s)
+    if (demand[s] > 0)
+      lb = std::max(lb, (demand[s] + weight_[s] - 1) / weight_[s]);
+  return lb;
+}
+
+FlowGraph::Cap RoutingEngine::cell_floor_bound(const ClusterTopology& topo,
+                                               const std::vector<Cap>& demand) {
+  MHP_SPAN("route/cell_floor");
+  const std::size_t n = topo.num_sensors();
+  // Dense-remap the hint's arbitrary cell ids.
+  std::vector<std::int32_t> ids = cell_hint_;
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const std::size_t num_cells = ids.size();
+  if (num_cells <= 1) return 0;  // one cell = the full problem; no bound
+  std::vector<std::int32_t> dense(n);
+  std::vector<std::int32_t> local(n);
+  std::vector<std::size_t> count(num_cells, 0);
+  for (NodeId s = 0; s < n; ++s) {
+    dense[s] = static_cast<std::int32_t>(
+        std::lower_bound(ids.begin(), ids.end(), cell_hint_[s]) - ids.begin());
+    local[s] = static_cast<std::int32_t>(
+        count[static_cast<std::size_t>(dense[s])]++);
+  }
+
+  // Per-cell relaxation: keep in-cell links only and let any sensor the
+  // head hears OR with an out-of-cell neighbor count as a sink.  A
+  // global solution's unit paths, cut at the first hop leaving the cell,
+  // solve every relaxation at the global δ*, so each relaxation's
+  // optimum — and hence their max — is a lower bound on δ*.
+  std::vector<Graph> graphs;
+  graphs.reserve(num_cells);
+  std::vector<std::vector<bool>> hears(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    graphs.emplace_back(count[c]);
+    hears[c].assign(count[c], false);
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    const auto c = static_cast<std::size_t>(dense[a]);
+    bool boundary = topo.head_hears(a);
+    for (NodeId b : topo.sensor_links().neighbors(a)) {
+      if (dense[b] != dense[a])
+        boundary = true;
+      else if (a < b)
+        graphs[c].add_edge(static_cast<NodeId>(local[a]),
+                           static_cast<NodeId>(local[b]));
+    }
+    if (boundary) hears[c][static_cast<std::size_t>(local[a])] = true;
+  }
+
+  std::vector<ClusterTopology> topos;
+  topos.reserve(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c)
+    topos.emplace_back(std::move(graphs[c]), std::move(hears[c]));
+  std::vector<ClusterRouteJob> jobs(num_cells);
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    jobs[c].topo = &topos[c];
+    jobs[c].demand.assign(count[c], 0);
+    jobs[c].weight.assign(count[c], 1);
+  }
+  for (NodeId s = 0; s < n; ++s) {
+    ClusterRouteJob& job = jobs[static_cast<std::size_t>(dense[s])];
+    job.demand[static_cast<std::size_t>(local[s])] = demand[s];
+    job.weight[static_cast<std::size_t>(local[s])] = weight_[s];
+  }
+
+  // The worker budget parallelises ACROSS cells; the per-cell engines
+  // stay serial (solve_clusters forces probe_workers = 1 for multi-job
+  // batches), so there is no pool nesting.
+  const auto results = solve_clusters(
+      jobs, policy_.probe_workers,
+      SolvePolicy{policy_.algo, policy_.warm_start, /*probe_workers=*/1});
+  Cap floor = 0;
+  for (const MinMaxLoadResult& r : results)
+    if (r.feasible) floor = std::max(floor, r.max_load);
+  MHP_SPAN_COUNTER("cells", static_cast<std::int64_t>(num_cells));
+  return floor;
+}
+
+FlowGraph::Cap RoutingEngine::search_serial(std::size_t n, Cap total, Cap lb,
+                                            Cap& final_delta) {
+  const bool warm = policy_.warm_start;
+
+  // Probe δ and return the max-flow value there.  Warm probes extend the
+  // base flow (the max flow of the largest infeasible δ so far — valid
+  // here because capacities only grow with δ); the value they converge to
+  // is unique even though the flow assignment is not, so feasibility
+  // answers — and hence δ* — match the cold search exactly.  Feasible
+  // from-zero probes save their flow: it is exactly the solve the
+  // decomposition contract calls for, so the final step can reuse it.
+  const auto probe = [&](Cap delta) {
+    MHP_SPAN("route/probe");
+    for (NodeId s = 0; s < n; ++s)
+      g_.set_capacity(capacity_arc_[s], delta * weight_[s]);
+    Cap value = 0;
+    const bool from_zero = !(warm && have_base_);
+    if (from_zero) {
+      g_.clear_flow();
+      ++stats_.cold_solves;
+    } else {
+      g_.install_flow(base_flow_);
+      value = base_value_;
+    }
+    value += work_.augment(g_, policy_.algo);
+    ++stats_.probes;
+    ++stats_.rounds;
+    if (value >= total) {
+      if (from_zero) {
+        g_.save_flow(final_flow_);
+        final_delta = delta;
+      }
+    } else if (warm) {
+      g_.save_flow(base_flow_);
+      have_base_ = true;
+      base_value_ = value;
+    }
+    MHP_SPAN_COUNTER("delta", delta);
+    MHP_SPAN_COUNTER("feasible", value >= total ? 1 : 0);
+    return value;
+  };
+
+  // Gallop up from the floor with doubling GAPS (the analytic/cell floors
+  // are usually tight, so small first steps beat a doubling-δ ladder),
+  // clamped at δ = total, which is always feasible once every
+  // demand-positive sensor is reachable: no sensor ever relays more than
+  // the whole load, and capacity total·w covers that.
+  Cap lo = lb;
+  Cap hi = lb;
+  Cap step = 1;
+  while (probe(hi) < total) {
+    MHP_ENSURE(hi < total,
+               "min-max-load search diverged: delta=" + std::to_string(hi) +
+                   " infeasible with total demand " + std::to_string(total));
+    lo = hi + 1;
+    hi = std::min(hi + step, total);
+    step *= 2;
+  }
+  while (lo < hi) {
+    const Cap mid = lo + (hi - lo) / 2;
+    if (probe(mid) >= total)
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  return hi;
+}
+
+FlowGraph::Cap RoutingEngine::search_parallel(std::size_t n, Cap total, Cap lb,
+                                              std::size_t workers,
+                                              Cap& final_delta) {
+  const bool warm = policy_.warm_start;
+  ThreadPool& probe_pool = pool(workers);
+  const std::size_t fan = std::max<std::size_t>(1, probe_pool.worker_count());
+  if (slots_.size() < fan) slots_.resize(fan);
+  for (std::size_t i = 0; i < fan; ++i) slots_[i].g.adopt(g_);
+
+  // One wave of speculative probes over ascending candidates cand[0..k).
+  // Probes only read the shared base flow; slot state is private, so the
+  // wave is race-free, and all bookkeeping happens after the join.
+  std::vector<Cap> cand;
+  cand.reserve(fan);
+  int last_inf = -1;   // largest infeasible candidate this round
+  int first_feas = -1; // smallest feasible candidate this round
+  const auto run_round = [&]() {
+    const std::size_t k = cand.size();
+    for (std::size_t i = 0; i < k; ++i) slots_[i].delta = cand[i];
+    const bool from_base = warm && have_base_;
+    probe_pool.parallel_for(k, [&](std::size_t i) {
+      MHP_SPAN("route/probe");
+      ProbeSlot& slot = slots_[i];
+      for (NodeId s = 0; s < n; ++s)
+        slot.g.set_capacity(capacity_arc_[s], slot.delta * weight_[s]);
+      Cap value = 0;
+      slot.from_zero = !from_base;
+      if (from_base) {
+        slot.g.install_flow(base_flow_);
+        value = base_value_;
+      } else {
+        slot.g.clear_flow();
+      }
+      value += slot.work.augment(slot.g, policy_.algo);
+      slot.value = value;
+      slot.feasible = value >= total;
+      MHP_SPAN_COUNTER("slot", static_cast<std::int64_t>(i));
+      MHP_SPAN_COUNTER("delta", slot.delta);
+      MHP_SPAN_COUNTER("feasible", slot.feasible ? 1 : 0);
+    });
+    ++stats_.rounds;
+    stats_.probes += static_cast<int>(k);
+    last_inf = -1;
+    first_feas = -1;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (slots_[i].from_zero) ++stats_.cold_solves;
+      if (!slots_[i].feasible)
+        last_inf = static_cast<int>(i);
+      else if (first_feas < 0)
+        first_feas = static_cast<int>(i);
+    }
+    // Feasibility is monotone in δ and candidates ascend, so the round
+    // splits at one point.  The largest infeasible candidate's max flow
+    // is the tightest valid warm base for every later (larger) δ.
+    if (warm && last_inf >= 0) {
+      ProbeSlot& b = slots_[static_cast<std::size_t>(last_inf)];
+      b.g.save_flow(base_flow_);
+      have_base_ = true;
+      base_value_ = b.value;
+    }
+    // A feasible from-zero probe IS the decomposition contract's solve;
+    // keep the smallest-δ one in case its δ wins the search.
+    if (first_feas >= 0) {
+      ProbeSlot& f = slots_[static_cast<std::size_t>(first_feas)];
+      if (f.from_zero && (final_delta == 0 || f.delta < final_delta)) {
+        f.g.save_flow(final_flow_);
+        final_delta = f.delta;
+      }
+    }
+  };
+
+  Cap lo = lb;
+  Cap hi = -1;
+  Cap next = lb;
+  Cap step = 1;
+
+  // Seed probe: with no warm base yet, every probe of the first wave
+  // would run from zero — `fan` full solves where the serial search pays
+  // for one.  A single-candidate round at the floor either ends the
+  // search outright (a tight cell floor often IS δ*) or installs the
+  // base flow all later waves augment from.
+  if (warm && !have_base_) {
+    cand.assign(1, lb);
+    run_round();
+    if (first_feas >= 0) return lb;
+    MHP_ENSURE(lb < total,
+               "min-max-load search diverged: delta=" + std::to_string(lb) +
+                   " infeasible with total demand " + std::to_string(total));
+    lo = lb + 1;
+    next = lo;
+  }
+
+  // Gallop phase: dispatch the next `fan` rungs of the gap-doubling
+  // ladder (clamped at the always-feasible δ = total) as one wave.
+  while (hi < 0) {
+    cand.clear();
+    while (cand.size() < fan) {
+      cand.push_back(next);
+      if (next >= total) break;
+      next = std::min(next + step, total);
+      step *= 2;
+    }
+    run_round();
+    if (last_inf >= 0) {
+      const Cap worst = cand[static_cast<std::size_t>(last_inf)];
+      MHP_ENSURE(worst < total,
+                 "min-max-load search diverged: delta=" + std::to_string(worst) +
+                     " infeasible with total demand " + std::to_string(total));
+      lo = worst + 1;
+    }
+    if (first_feas >= 0) hi = cand[static_cast<std::size_t>(first_feas)];
+  }
+
+  // Multiway bisection: k evenly spaced candidates shrink [lo, hi) by a
+  // factor of k+1 per wave (vs 2 for serial bisection); when the range
+  // is at most `fan`, one wave covers it entirely and the search ends.
+  while (lo < hi) {
+    const Cap range = hi - lo;
+    const auto k = static_cast<std::size_t>(
+        std::min<Cap>(static_cast<Cap>(fan), range));
+    const auto q = range / static_cast<Cap>(k + 1);
+    const auto r = range % static_cast<Cap>(k + 1);
+    cand.clear();
+    Cap prev = -1;
+    for (std::size_t j = 1; j <= k; ++j) {
+      // lo + floor(range·j/(k+1)), factored to dodge int64 overflow.
+      const Cap c = lo + q * static_cast<Cap>(j) +
+                    (r * static_cast<Cap>(j)) / static_cast<Cap>(k + 1);
+      if (c != prev) cand.push_back(c);
+      prev = c;
+    }
+    run_round();
+    if (last_inf >= 0) lo = cand[static_cast<std::size_t>(last_inf)] + 1;
+    if (first_feas >= 0) hi = cand[static_cast<std::size_t>(first_feas)];
+  }
+  return hi;
+}
+
+ThreadPool& RoutingEngine::pool(std::size_t workers) {
+  if (!pool_ || pool_workers_ != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+    pool_workers_ = workers;
+  }
+  return *pool_;
+}
+
 MinMaxLoadResult RoutingEngine::solve_balanced(
     const ClusterTopology& topo, const std::vector<std::int64_t>& demand,
     const std::vector<std::int64_t>& weight) {
@@ -363,33 +687,25 @@ MinMaxLoadResult RoutingEngine::solve_balanced(
     if (demand[s] > 0 && topo.level(s) == ClusterTopology::kUnreachable)
       return result;  // infeasible
 
+  // δ floors (never above δ*, so they only trim the search): analytic
+  // level-cut/demand bounds, tightened by the per-cell relaxation when a
+  // partition hint is set and the cluster is big enough to pay for it.
+  Cap lb = analytic_floor(topo, demand);
+  if (n >= kCellFloorMinSensors && cell_hint_.size() == n) {
+    stats_.cell_floor = cell_floor_bound(topo, demand);
+    lb = std::max(lb, stats_.cell_floor);
+  }
+  stats_.delta_lower_bound = lb;
+
   build_network(topo, demand, weight_);
   have_base_ = false;
   base_value_ = 0;
 
-  // Analytic δ floor (never above δ*, so it only trims the search): all
-  // flow crosses first-level capacity arcs (Σ δ·w must cover total) and
-  // each sensor's own demand crosses its capacity arc (δ·wₛ ≥ demandₛ).
-  Cap fl_weight = 0;
-  for (NodeId s = 0; s < n; ++s)
-    if (topo.head_hears(s)) fl_weight += weight_[s];
-  Cap lb = fl_weight > 0 ? (total + fl_weight - 1) / fl_weight : 1;
-  for (NodeId s = 0; s < n; ++s)
-    if (demand[s] > 0)
-      lb = std::max(lb, (demand[s] + weight_[s] - 1) / weight_[s]);
-  if (lb < 1) lb = 1;
-  stats_.delta_lower_bound = lb;
-
-  const bool warm = policy_.warm_start;
-  const auto set_caps = [&](Cap delta) {
-    for (NodeId s = 0; s < n; ++s)
-      g_.set_capacity(capacity_arc_[s], delta * weight_[s]);
-  };
-
   // A warm hint is only a feasibility head start: pre-push its still-valid
   // unit paths and keep them as the first warm base.
-  if (warm && hint != nullptr) {
-    set_caps(lb);
+  if (policy_.warm_start && hint != nullptr) {
+    for (NodeId s = 0; s < n; ++s)
+      g_.set_capacity(capacity_arc_[s], lb * weight_[s]);
     g_.clear_flow();
     const Cap primed = prime_from_hint(*hint);
     stats_.hint_units = primed;
@@ -400,79 +716,36 @@ MinMaxLoadResult RoutingEngine::solve_balanced(
     }
   }
 
-  // Probe δ and return the max-flow value there.  Warm probes extend the
-  // base flow (the max flow of the largest infeasible δ so far — valid
-  // here because capacities only grow with δ); the value they converge to
-  // is unique even though the flow assignment is not, so feasibility
-  // answers — and hence δ* — match the cold search exactly.  Feasible
-  // from-zero probes save their flow: it is exactly the solve the
-  // decomposition contract calls for, so the final step can reuse it.
+  std::size_t workers = policy_.probe_workers;
+  if (workers == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers = hc > 0 ? hc : 1;
+  }
   Cap final_delta = 0;
-  const auto probe = [&](Cap delta) {
-    set_caps(delta);
-    Cap value = 0;
-    const bool from_zero = !(warm && have_base_);
-    if (from_zero) {
-      g_.clear_flow();
-      ++stats_.cold_solves;
-    } else {
-      g_.install_flow(base_flow_);
-      value = base_value_;
-    }
-    value += augment();
-    ++stats_.probes;
-    if (value >= total) {
-      if (from_zero) {
-        g_.save_flow(final_flow_);
-        final_delta = delta;
-      }
-    } else if (warm) {
-      g_.save_flow(base_flow_);
-      have_base_ = true;
-      base_value_ = value;
-    }
-    return value;
-  };
-
-  // Exponential search for a feasible δ from the floor, then binary
-  // search the minimum.
-  Cap hi = lb;
-  Cap lo = lb;
-  while (probe(hi) < total) {
-    MHP_ENSURE(hi <= total * 2,
-               "min-max-load search diverged: delta=" + std::to_string(hi) +
-                   " infeasible with total demand " + std::to_string(total));
-    lo = hi + 1;
-    hi *= 2;
-  }
-  while (lo < hi) {
-    const Cap mid = lo + (hi - lo) / 2;
-    if (probe(mid) >= total)
-      hi = mid;
-    else
-      lo = mid + 1;
-  }
-  stats_.delta_star = hi;
+  const Cap delta_star =
+      workers > 1 ? search_parallel(n, total, lb, workers, final_delta)
+                  : search_serial(n, total, lb, final_delta);
+  stats_.delta_star = delta_star;
 
   // Decomposition contract: the flow decomposed is always the one
-  // from-zero solve at δ*.  Cold mode probed δ* from zero (the search
-  // only ever lowers hi to a probed feasible δ), and a warm search whose
-  // very first probe won at the analytic floor ran that same solve
-  // already; otherwise warm mode runs it now.  Either way both modes —
-  // and the legacy solver — decompose byte-identical flows.
-  set_caps(hi);
-  if (final_delta == hi) {
+  // from-zero solve at δ*.  When some from-zero probe already ran it
+  // (cold searches always have; a warm search only when its very first
+  // probe won), reuse that flow; otherwise run it now.  Either way every
+  // search mode — serial, parallel, warm, cold — decomposes
+  // byte-identical flows.
+  for (NodeId s = 0; s < n; ++s)
+    g_.set_capacity(capacity_arc_[s], delta_star * weight_[s]);
+  if (final_delta == delta_star) {
     g_.install_flow(final_flow_);
   } else {
-    MHP_ENSURE(warm, "final flow lost feasibility");
     g_.clear_flow();
-    const Cap final_value = augment();
+    const Cap final_value = work_.augment(g_, policy_.algo);
     ++stats_.cold_solves;
     MHP_ENSURE(final_value >= total, "final flow lost feasibility");
   }
 
   result.feasible = true;
-  result.max_load = hi;
+  result.max_load = delta_star;
   MHP_SPAN_COUNTER("probes", stats_.probes);
   MHP_SPAN_COUNTER("cold_solves", stats_.cold_solves);
   MHP_SPAN_COUNTER("hint_units", stats_.hint_units);
@@ -543,16 +816,35 @@ std::vector<MinMaxLoadResult> solve_clusters(
     SolvePolicy policy) {
   MHP_SPAN("route/solve_clusters");
   std::vector<MinMaxLoadResult> results(jobs.size());
+  if (jobs.size() == 1) {
+    // A lone cluster has nothing to parallelise across jobs: hand the
+    // whole worker budget to the engine's speculative δ-probe scheduler
+    // instead (results are byte-identical for any worker count).
+    MHP_SPAN("route/cluster");
+    const ClusterRouteJob& job = jobs[0];
+    MHP_REQUIRE(job.topo != nullptr, "cluster route job without topology");
+    SolvePolicy single = policy;
+    single.probe_workers = workers;
+    RoutingEngine engine(single);
+    results[0] = engine.solve(job.kind, *job.topo, job.demand, job.weight);
+    return results;
+  }
+  // Per-worker engines must stay serial: a probe pool per worker would
+  // oversubscribe the machine, and the forced value must not depend on
+  // `workers` (it doesn't change results, but it must not change probe
+  // schedules between the inline and pooled paths either).
+  SolvePolicy per_job = policy;
+  per_job.probe_workers = 1;
   const auto solve_one = [&](std::size_t i) {
     // Top-level span on its worker thread; the pool's join is the
     // quiescent point a later drain() relies on.
     MHP_SPAN("route/cluster");
     const ClusterRouteJob& job = jobs[i];
     MHP_REQUIRE(job.topo != nullptr, "cluster route job without topology");
-    RoutingEngine engine(policy);
+    RoutingEngine engine(per_job);
     results[i] = engine.solve(job.kind, *job.topo, job.demand, job.weight);
   };
-  if (jobs.size() <= 1 || workers == 1) {
+  if (jobs.empty() || workers == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) solve_one(i);
     return results;
   }

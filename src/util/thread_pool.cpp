@@ -7,6 +7,14 @@
 
 namespace mhp {
 
+namespace {
+// Pool the current thread belongs to, if any (worker threads live
+// exactly as long as their pool, so a dangling read cannot happen).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -44,6 +52,8 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  MHP_REQUIRE(!on_worker_thread(),
+              "parallel_for re-entered from one of the pool's own workers");
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -71,6 +81,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

@@ -24,6 +24,11 @@ class ThreadPool {
 
   std::size_t worker_count() const { return threads_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.  Used to
+  /// reject re-entrant parallel_for calls: a worker waiting in wait_idle
+  /// counts itself as in flight, so the wait could never finish.
+  bool on_worker_thread() const;
+
   /// Enqueue a task; runs at some point on a worker thread.
   void submit(std::function<void()> task);
 

@@ -4,8 +4,13 @@
 // flight recorder.
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "baseline/smac_simulation.hpp"
@@ -101,6 +106,144 @@ TEST(Json, ParserIsStrict) {
   const Json v = parse_json(R"({"a":[1,{"b":null}], "c":"é"})");
   EXPECT_EQ(v.at("a").at(1).at("b").type(), Json::Type::kNull);
   EXPECT_EQ(v.at("c").as_string(), "\xc3\xa9");  // UTF-8 é
+}
+
+TEST(Json, MalformedNumbersRejectedWholeToken) {
+  // The number scanner's character class admits these shapes; the
+  // whole-token conversion check must reject them instead of silently
+  // keeping a numeric prefix (the old strtod-based parser turned "1..2"
+  // into 1.0).
+  for (const char* text : {"1..2", "1e+5e-2", "1e", "1e+", "1e-", "1.2.3",
+                           "1-2", "--1", "+1", "1e5e2", "-", "2-", "3.4.5e1"})
+    EXPECT_THROW(parse_json(text), obs::JsonParseError) << text;
+  // Inside containers too, with the offending token in the message.
+  try {
+    parse_json("[1, 1..2]");
+    FAIL() << "expected JsonParseError";
+  } catch (const obs::JsonParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_GE(e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("1..2"), std::string::npos);
+  }
+}
+
+TEST(Json, AsIntRangeChecksDoubles) {
+  // Integral doubles convert exactly.
+  EXPECT_EQ(Json(2.0).as_int(), 2);
+  EXPECT_EQ(Json(-0.0).as_int(), 0);
+  EXPECT_EQ(Json(9007199254740992.0).as_int(), 9007199254740992LL);  // 2^53
+  // -2^63 is exactly representable and in range; +2^63 is out.
+  EXPECT_EQ(Json(-9223372036854775808.0).as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW(Json(9223372036854775808.0).as_int(), std::out_of_range);
+  // Non-integral values used to truncate silently (1.7 read as 1).
+  EXPECT_THROW(Json(1.7).as_int(), std::logic_error);
+  EXPECT_THROW(Json(-0.5).as_int(), std::logic_error);
+  // Out-of-range values used to be undefined behavior in the cast.
+  EXPECT_THROW(Json(1e300).as_int(), std::out_of_range);
+  EXPECT_THROW(Json(-1e300).as_int(), std::out_of_range);
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).as_int(),
+               std::out_of_range);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()).as_int(),
+               std::out_of_range);
+  // as_uint rides on as_int and inherits the checks.
+  EXPECT_THROW(Json(1e300).as_uint(), std::out_of_range);
+}
+
+/// Flip both the C locale and the C++ global locale (they reach printf
+/// and ostreams respectively), restoring C/classic on scope exit.
+class GlobalLocaleFlip {
+ public:
+  explicit GlobalLocaleFlip(const char* name) {
+    c_ok_ = std::setlocale(LC_ALL, name) != nullptr;
+    try {
+      old_ = std::locale::global(std::locale(name));
+      cpp_ok_ = true;
+    } catch (const std::runtime_error&) {
+      // The C++ runtime may not ship this locale even when libc does.
+    }
+  }
+  ~GlobalLocaleFlip() {
+    std::setlocale(LC_ALL, "C");
+    if (cpp_ok_) std::locale::global(old_);
+  }
+  bool c_ok() const { return c_ok_; }
+
+ private:
+  bool c_ok_ = false;
+  bool cpp_ok_ = false;
+  std::locale old_;
+};
+
+TEST(Json, NumberCodecIgnoresGlobalLocale) {
+  // A comma-decimal, dot-grouping locale used to leak into the codec:
+  // snprintf("%.17g") wrote "1,5" and ostream << int wrote "1.234.567".
+  const char* chosen = nullptr;
+  for (const char* c : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"})
+    if (std::setlocale(LC_ALL, c) != nullptr) {
+      chosen = c;
+      break;
+    }
+  std::setlocale(LC_ALL, "C");
+  if (chosen == nullptr)
+    GTEST_SKIP() << "no comma-decimal locale installed (CI generates one)";
+
+  GlobalLocaleFlip flip(chosen);
+  ASSERT_TRUE(flip.c_ok());
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json(0.25).dump(), "0.25");
+  EXPECT_EQ(Json(1234567).dump(), "1234567");
+  EXPECT_EQ(Json(-9876543210LL).dump(), "-9876543210");
+  EXPECT_EQ(parse_json("1.5").as_double(), 1.5);
+  EXPECT_EQ(parse_json("[1234567, -2.5e3]").dump(), "[1234567,-2500.0]");
+}
+
+TEST(Json, DumpParseDumpIsIdentityOnBoundaryNumbers) {
+  // dump → parse → dump must be byte-identical, and the reparsed value
+  // bit-exact (17 significant digits are value-faithful for doubles).
+  // Subnormals are the historical trap: glibc's stod raises ERANGE on
+  // them, so 5e-324 used to come back as a parse error.
+  const double doubles[] = {
+      0.0,
+      -0.0,
+      0.5,
+      1.0 / 3.0,
+      245.33333333333331,
+      1e-300,
+      1e300,
+      std::numeric_limits<double>::denorm_min(),  // 5e-324
+      4.9406564584124654e-324,
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      9007199254740993.0,            // first double above 2^53
+      9223372036854775808.0,         // 2^63
+      -9223372036854775808.0,        // -2^63
+      1.7976931348623157e308,
+  };
+  for (const double v : doubles) {
+    const std::string once = Json(v).dump();
+    const Json back = parse_json(once);
+    ASSERT_EQ(back.type(), Json::Type::kDouble) << once;
+    EXPECT_EQ(back.dump(), once);
+    EXPECT_EQ(back.as_double(), v) << once;
+    EXPECT_EQ(std::signbit(back.as_double()), std::signbit(v)) << once;
+  }
+  const std::int64_t ints[] = {
+      0,
+      1,
+      -1,
+      9007199254740993LL,  // not representable as a double
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+  };
+  for (const std::int64_t v : ints) {
+    const std::string once = Json(v).dump();
+    const Json back = parse_json(once);
+    ASSERT_TRUE(back.is_int()) << once;
+    EXPECT_EQ(back.dump(), once);
+    EXPECT_EQ(back.as_int(), v) << once;
+  }
 }
 
 // ---------- Histogram metric + labeled series ----------

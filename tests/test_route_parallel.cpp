@@ -1,0 +1,251 @@
+// Speculative parallel δ-probe contract: solve_balanced must be
+// byte-identical for every probe_workers value (the probes only answer
+// the scheduling-independent feasibility question, and the decomposed
+// flow always comes from the one from-zero solve at δ*).  The per-cell
+// δ floor and warm hints are pure accelerators under the same contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/route_repair.hpp"
+#include "core/routing.hpp"
+#include "exp/fig_common.hpp"
+#include "flow/min_max_load.hpp"
+#include "net/deployment.hpp"
+#include "route/cell_grid.hpp"
+#include "route/routing_engine.hpp"
+#include "scenario/run_scenario.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mhp {
+namespace {
+
+using route::ClusterRouteJob;
+using route::RoutingEngine;
+using route::SolveKind;
+using route::SolvePolicy;
+
+// Full-fidelity serialization of a solver result: any divergence in
+// paths, per-path units or loads shows up as a string mismatch.
+std::string fingerprint(const MinMaxLoadResult& r) {
+  std::ostringstream out;
+  out << "feasible=" << r.feasible << " max_load=" << r.max_load << "\n";
+  for (std::size_t s = 0; s < r.paths.size(); ++s) {
+    out << s << " load=" << r.load[s] << ":";
+    for (const UnitPath& p : r.paths[s]) {
+      out << " [";
+      for (NodeId hop : p.hops) out << hop << ",";
+      out << "]x" << p.units;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string fingerprint(const RelayPlan& plan) {
+  std::ostringstream out;
+  out << "max_load=" << plan.max_load() << "\n";
+  for (std::size_t s = 0; s < plan.num_sensors(); ++s) {
+    out << s << " load=" << plan.load(s) << ":";
+    for (const UnitPath& p : plan.paths(s)) {
+      out << " [";
+      for (NodeId hop : p.hops) out << hop << ",";
+      out << "]x" << p.units;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+struct NamedTopology {
+  std::string name;
+  ClusterTopology topo;
+};
+
+// Every shipped deployment shape: random square, deterministic grid,
+// concentric rings (guaranteed multi-hop) and the eval rejection-sampled
+// connected square.
+std::vector<NamedTopology> shipped_topologies() {
+  std::vector<NamedTopology> out;
+  Rng rng(123);
+  out.push_back({"uniform_square",
+                 disc_topology(deploy_uniform_square(60, 200.0, rng), 60.0)});
+  out.push_back({"grid", disc_topology(deploy_grid(49, 120.0), 60.0)});
+  out.push_back({"rings", disc_topology(deploy_rings(4, 8, 25.0), 60.0)});
+  out.push_back({"connected_square",
+                 disc_topology(exp::eval_deployment(80, 11), exp::kSensorRange)});
+  return out;
+}
+
+TEST(RouteParallel, BalancedDigestEqualAcrossWorkerCounts) {
+  for (const NamedTopology& t : shipped_topologies()) {
+    const std::size_t n = t.topo.num_sensors();
+    std::vector<std::int64_t> demand(n, 1);
+    for (std::size_t s = 0; s < n; s += 5) demand[s] = 3;
+
+    RoutingEngine serial(SolvePolicy{MaxFlowAlgo::kDinic, true, 1});
+    const std::string want = fingerprint(serial.solve_balanced(t.topo, demand));
+    EXPECT_EQ(want, fingerprint(solve_min_max_load(t.topo, demand))) << t.name;
+    for (std::size_t workers : {4u, 8u, 0u}) {  // 0 = hardware concurrency
+      RoutingEngine par(SolvePolicy{MaxFlowAlgo::kDinic, true, workers});
+      EXPECT_EQ(want, fingerprint(par.solve_balanced(t.topo, demand)))
+          << t.name << " workers=" << workers;
+    }
+  }
+}
+
+TEST(RouteParallel, ColdAndEdmondsKarpModesAgreeAcrossWorkerCounts) {
+  const ClusterTopology topo =
+      disc_topology(exp::eval_deployment(50, 3), exp::kSensorRange);
+  std::vector<std::int64_t> demand(50, 1);
+  std::vector<std::int64_t> weight(50);
+  for (std::size_t s = 0; s < weight.size(); ++s) weight[s] = 1 + s % 3;
+
+  for (MaxFlowAlgo algo : {MaxFlowAlgo::kDinic, MaxFlowAlgo::kEdmondsKarp}) {
+    for (bool warm : {true, false}) {
+      RoutingEngine serial(SolvePolicy{algo, warm, 1});
+      RoutingEngine par(SolvePolicy{algo, warm, 4});
+      EXPECT_EQ(fingerprint(serial.solve_balanced(topo, demand, weight)),
+                fingerprint(par.solve_balanced(topo, demand, weight)))
+          << "algo=" << static_cast<int>(algo) << " warm=" << warm;
+    }
+  }
+}
+
+TEST(RouteParallel, ReusedParallelEngineMatchesFreshPerSolve) {
+  RoutingEngine reused(SolvePolicy{MaxFlowAlgo::kDinic, true, 4});
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ClusterTopology topo =
+        disc_topology(exp::eval_deployment(30, seed), exp::kSensorRange);
+    const std::vector<std::int64_t> demand(30, 1);
+    RoutingEngine fresh(SolvePolicy{MaxFlowAlgo::kDinic, true, 4});
+    EXPECT_EQ(fingerprint(reused.solve_balanced(topo, demand)),
+              fingerprint(fresh.solve_balanced(topo, demand)))
+        << "seed=" << seed;
+  }
+}
+
+// ---------- the per-cell δ floor ----------
+
+TEST(RouteParallel, CellHintNeverChangesResultsAndTightensFloor) {
+  // 600 sensors clears kCellFloorMinSensors, so the hint actually runs
+  // the per-cell batch; the result must not move by a byte.
+  const Deployment d = exp::eval_deployment(600, 21);
+  const ClusterTopology topo = disc_topology(d, exp::kSensorRange);
+  const std::vector<std::int64_t> demand(600, 1);
+
+  RoutingEngine plain(SolvePolicy{MaxFlowAlgo::kDinic, true, 1});
+  const MinMaxLoadResult base = plain.solve_balanced(topo, demand);
+  ASSERT_TRUE(base.feasible);
+  const std::int64_t plain_floor = plain.last_stats().delta_lower_bound;
+
+  RoutingEngine hinted(SolvePolicy{MaxFlowAlgo::kDinic, true, 1});
+  hinted.set_cell_hint(
+      route::grid_cells(std::span(d.positions.data(), d.num_sensors())));
+  const MinMaxLoadResult with_hint = hinted.solve_balanced(topo, demand);
+  EXPECT_EQ(fingerprint(base), fingerprint(with_hint));
+
+  const route::SolveStats& stats = hinted.last_stats();
+  EXPECT_GE(stats.cell_floor, 0);
+  EXPECT_GE(stats.delta_lower_bound, plain_floor);
+  EXPECT_LE(stats.delta_lower_bound, stats.delta_star);
+  EXPECT_EQ(stats.delta_star, with_hint.max_load);
+
+  // And the hint composes with parallel probes.
+  RoutingEngine both(SolvePolicy{MaxFlowAlgo::kDinic, true, 4});
+  both.set_cell_hint(
+      route::grid_cells(std::span(d.positions.data(), d.num_sensors())));
+  EXPECT_EQ(fingerprint(base), fingerprint(both.solve_balanced(topo, demand)));
+}
+
+TEST(RouteParallel, GridCellsShapes) {
+  Rng rng(7);
+  const Deployment d = deploy_uniform_square(200, 150.0, rng);
+  const auto cells =
+      route::grid_cells(std::span(d.positions.data(), d.num_sensors()));
+  ASSERT_EQ(cells.size(), d.num_sensors());
+  std::int32_t max_id = 0;
+  for (const std::int32_t c : cells) {
+    EXPECT_GE(c, 0);
+    max_id = std::max(max_id, c);
+  }
+  EXPECT_LT(max_id, 16 * 16);
+
+  // Coincident points collapse to one cell.
+  const std::vector<Vec2> same(5, Vec2{3.0, 4.0});
+  for (const std::int32_t c : route::grid_cells(std::span(same)))
+    EXPECT_EQ(c, 0);
+}
+
+// ---------- warm-hinted replans under parallel probes ----------
+
+TEST(RouteParallel, WarmHintedReplanDigestEqualAcrossWorkerCounts) {
+  const ClusterTopology topo =
+      disc_topology(exp::eval_deployment(40, 7), exp::kSensorRange);
+  const std::vector<std::int64_t> demand(40, 1);
+  const RelayPlan plan = RelayPlan::balanced(topo, demand);
+  NodeId victim = 0;
+  for (NodeId s = 0; s < plan.num_sensors(); ++s)
+    if (plan.load(s) > 1) {
+      victim = s;
+      break;
+    }
+
+  RoutingEngine serial(SolvePolicy{MaxFlowAlgo::kDinic, true, 1});
+  serial.set_warm_hint(&plan.all_paths());
+  const RouteRepair want = repair_routes(
+      topo, {victim}, demand, RoutingPolicy::kBalancedMaxFlow, &serial, &plan);
+  for (std::size_t workers : {4u, 8u}) {
+    RoutingEngine par(SolvePolicy{MaxFlowAlgo::kDinic, true, workers});
+    par.set_warm_hint(&plan.all_paths());
+    const RouteRepair got = repair_routes(
+        topo, {victim}, demand, RoutingPolicy::kBalancedMaxFlow, &par, &plan);
+    EXPECT_EQ(fingerprint(want.plan), fingerprint(got.plan))
+        << "workers=" << workers;
+    EXPECT_EQ(want.orphaned, got.orphaned) << "workers=" << workers;
+  }
+}
+
+// ---------- worker handoff through solve_clusters ----------
+
+TEST(RouteParallel, SingleJobSolveClustersHandsWorkersToProbes) {
+  const ClusterTopology topo =
+      disc_topology(exp::eval_deployment(70, 13), exp::kSensorRange);
+  ClusterRouteJob job;
+  job.topo = &topo;
+  job.demand.assign(70, 1);
+  std::vector<ClusterRouteJob> jobs;
+  jobs.push_back(std::move(job));
+
+  const auto serial = route::solve_clusters(jobs, 1);
+  ASSERT_EQ(serial.size(), 1u);
+  for (std::size_t workers : {4u, 8u, 0u}) {
+    const auto par = route::solve_clusters(jobs, workers);
+    ASSERT_EQ(par.size(), 1u);
+    EXPECT_EQ(fingerprint(serial[0]), fingerprint(par[0]))
+        << "workers=" << workers;
+  }
+}
+
+TEST(RouteParallel, PollingScenarioReportByteIdenticalAcrossRouteWorkers) {
+  scenario::Scenario s =
+      scenario::default_scenario(scenario::StackKind::kPolling);
+  s.deployment.n_sensors = 16;
+  s.run.duration = Time::sec(10);
+  s.run.warmup = Time::sec(2);
+  s.run.record_perf = false;
+
+  s.route_workers = 1;
+  const std::string serial = scenario::run_scenario(s).dump();
+  s.route_workers = 8;
+  EXPECT_EQ(serial, scenario::run_scenario(s).dump());
+  s.route_workers = 0;  // hardware concurrency
+  EXPECT_EQ(serial, scenario::run_scenario(s).dump());
+}
+
+}  // namespace
+}  // namespace mhp
