@@ -1,5 +1,6 @@
 #include "scenario/campaign.hpp"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -12,6 +13,7 @@
 #include "obs/report_json.hpp"
 #include "scenario/json_cursor.hpp"
 #include "scenario/run_scenario.hpp"
+#include "util/stats.hpp"
 
 namespace mhp::scenario {
 
@@ -138,12 +140,7 @@ std::vector<CampaignPoint> expand_campaign(const Campaign& campaign) {
   return points;
 }
 
-namespace {
-
-/// Last-wins key→value map from a JSONL file.  Lines that fail to parse
-/// (e.g. the torn tail of a killed run) are skipped, not fatal — the
-/// affected point simply reruns.
-std::vector<std::pair<std::string, Json>> read_jsonl(
+std::vector<std::pair<std::string, Json>> read_keyed_jsonl(
     const std::string& path) {
   std::vector<std::pair<std::string, Json>> entries;
   std::ifstream in(path);
@@ -171,6 +168,8 @@ std::vector<std::pair<std::string, Json>> read_jsonl(
   return entries;
 }
 
+namespace {
+
 struct Agg {
   std::size_t count = 0;
   double sum = 0.0;
@@ -193,12 +192,33 @@ struct Agg {
   }
 };
 
+/// Point wall-time roll-up: Agg-style stats plus quantiles from a
+/// fixed-bin Histogram over the observed range.  All-zero samples (every
+/// point ran with run.record_perf false) still produce a valid block.
+Json wall_ms_to_json(const std::vector<double>& samples) {
+  Agg agg;
+  for (const double v : samples) agg.add(v);
+  Json out = agg.to_json();
+  // All-zero samples (every point ran with run.record_perf false) report
+  // exact zero quantiles rather than the histogram's bin-0 midpoint.
+  const bool all_zero = agg.count == 0 || agg.max <= 0.0;
+  const double hi = all_zero ? 1.0 : agg.max;  // Histogram needs lo < hi
+  Histogram h(0.0, hi * 1.0001, 64);
+  for (const double v : samples) h.add(v);
+  out.set("p50_ms", Json(all_zero ? 0.0 : h.quantile(0.50)))
+      .set("p95_ms", Json(all_zero ? 0.0 : h.quantile(0.95)))
+      .set("p99_ms", Json(all_zero ? 0.0 : h.quantile(0.99)));
+  return out;
+}
+
+}  // namespace
+
 /// Roll delivery / throughput / energy / lifetime-proxy aggregates up
 /// from every ok result on record (this run and previous ones).
-Json build_summary(const Campaign& campaign, const std::string& out_dir,
-                   std::size_t total) {
-  const auto results = read_jsonl(out_dir + "/results.jsonl");
-  const auto manifest = read_jsonl(out_dir + "/manifest.jsonl");
+Json build_campaign_summary(const std::string& campaign_name,
+                            const std::string& out_dir, std::size_t total) {
+  const auto results = read_keyed_jsonl(out_dir + "/results.jsonl");
+  const auto manifest = read_keyed_jsonl(out_dir + "/manifest.jsonl");
 
   std::size_t failed = 0;
   for (const auto& [key, entry] : manifest) {
@@ -209,7 +229,10 @@ Json build_summary(const Campaign& campaign, const std::string& out_dir,
   }
 
   Agg delivery, throughput, energy, max_power;
+  std::vector<double> wall_ms;
   for (const auto& [key, entry] : results) {
+    const Json* ms = entry.find("point_wall_ms");
+    if (ms != nullptr && ms->is_number()) wall_ms.push_back(ms->as_double());
     const Json* report = entry.find("report");
     if (report == nullptr) continue;
     const Json* kind = report->find("kind");
@@ -250,20 +273,19 @@ Json build_summary(const Campaign& campaign, const std::string& out_dir,
     aggregates.set("max_sensor_power_w", max_power.to_json());
 
   Json body = Json::object()
-                  .set("campaign", Json(campaign.name))
+                  .set("campaign", Json(campaign_name))
                   .set("points", Json::object()
                                      .set("total", Json(total))
                                      .set("ok", Json(results.size()))
                                      .set("failed", Json(failed)))
+                  .set("point_wall_ms", wall_ms_to_json(wall_ms))
                   .set("aggregates", std::move(aggregates));
   return obs::report_envelope("campaign_summary", std::move(body));
 }
 
-}  // namespace
-
 CampaignResult run_campaign(const Campaign& campaign,
                             const std::string& out_dir, std::size_t workers,
-                            std::FILE* log) {
+                            std::FILE* log, const std::atomic<bool>* stop) {
   namespace fs = std::filesystem;
   fs::create_directories(out_dir);
 
@@ -277,7 +299,7 @@ CampaignResult run_campaign(const Campaign& campaign,
   // Resume: the manifest's last word per key decides.  "ok" points are
   // skipped; failed (or unrecorded) points run.
   std::vector<const CampaignPoint*> to_run;
-  const auto manifest_state = read_jsonl(manifest_path);
+  const auto manifest_state = read_keyed_jsonl(manifest_path);
   for (const CampaignPoint& point : points) {
     bool done = false;
     for (const auto& [key, entry] : manifest_state) {
@@ -314,12 +336,20 @@ CampaignResult run_campaign(const Campaign& campaign,
   const std::vector<int> outcomes = exp::sweep<std::size_t, int>(
       order,
       [&](const std::size_t& i) -> int {
+        // An interrupt (SIGINT/SIGTERM in mhp_run) stops dispatching:
+        // this point is abandoned without a manifest line, so a resume
+        // reruns it.  Points already past this check finish and flush.
+        if (stop != nullptr && stop->load(std::memory_order_relaxed))
+          return 2;
         const CampaignPoint& point = *to_run[i];
         MHP_SPAN("campaign/point");
         Json report;
         std::string error;
+        bool record_perf = true;
+        const auto t0 = std::chrono::steady_clock::now();
         try {
           Scenario s = parse_scenario(point.doc);
+          record_perf = s.run.record_perf;
           // Per-point profiling is off: the profiler's enable/drain
           // cycle is process-global, so concurrent points would corrupt
           // each other's summaries.  Profile a single scenario instead.
@@ -329,6 +359,14 @@ CampaignResult run_campaign(const Campaign& campaign,
           error = e.what();
           if (error.empty()) error = "unknown error";
         }
+        // Zeroed with run.record_perf false so the results document
+        // stays a pure function of the scenario (byte-stable goldens).
+        const double wall_ms =
+            record_perf
+                ? std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count()
+                : 0.0;
 
         const std::scoped_lock lock(mu);
         ++finished;
@@ -336,6 +374,7 @@ CampaignResult run_campaign(const Campaign& campaign,
           results_out << Json::object()
                              .set("key", Json(point.key))
                              .set("scenario", point.doc)
+                             .set("point_wall_ms", Json(wall_ms))
                              .set("report", std::move(report))
                              .dump()
                       << '\n'
@@ -365,11 +404,18 @@ CampaignResult run_campaign(const Campaign& campaign,
       },
       workers);
 
-  for (const int outcome : outcomes)
-    outcome == 0 ? ++result.ok : ++result.failed;
+  for (const int outcome : outcomes) {
+    if (outcome == 0)
+      ++result.ok;
+    else if (outcome == 1)
+      ++result.failed;
+    else
+      ++result.interrupted;
+  }
 
   obs::save_json(out_dir + "/summary.json",
-                 build_summary(campaign, out_dir, points.size()));
+                 build_campaign_summary(campaign.name, out_dir,
+                                        points.size()));
   return result;
 }
 

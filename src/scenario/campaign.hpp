@@ -17,6 +17,7 @@
 // text lands in the manifest and the remaining points still run.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <functional>
@@ -63,23 +64,46 @@ void set_by_path(obs::Json& doc, const std::string& path, obs::Json value);
 std::vector<CampaignPoint> expand_campaign(const Campaign& campaign);
 
 struct CampaignResult {
-  std::size_t total = 0;    // points in the expansion
-  std::size_t skipped = 0;  // already completed per the manifest
-  std::size_t ok = 0;       // run and succeeded this invocation
-  std::size_t failed = 0;   // run and failed this invocation
+  std::size_t total = 0;        // points in the expansion
+  std::size_t skipped = 0;      // already completed per the manifest
+  std::size_t ok = 0;           // run and succeeded this invocation
+  std::size_t failed = 0;       // run and failed this invocation
+  std::size_t interrupted = 0;  // not dispatched (stop flag was raised)
 };
 
 /// Execute `campaign` into `out_dir` (created if missing) using
 /// `workers` threads (0 = hardware concurrency).  Writes:
-///   results.jsonl  — one envelope {"key","scenario","report"} per ok
-///                    point, appended as points finish;
+///   results.jsonl  — one envelope {"key","scenario","point_wall_ms",
+///                    "report"} per ok point, appended as points finish
+///                    (point_wall_ms is zeroed when run.record_perf is
+///                    false, keeping the document deterministic);
 ///   manifest.jsonl — one {"key","status"[,"error"]} per finished point;
-///   summary.json   — aggregate roll-up over every ok point on record.
+///   summary.json   — aggregate roll-up over every ok point on record,
+///                    including a point_wall_ms latency histogram.
 /// Points whose key the manifest already records as "ok" are skipped
 /// (resume); failed points are retried.  `log` (nullable FILE*) receives
-/// one progress line per point.
+/// one progress line per point.  When `stop` is non-null and becomes
+/// true (e.g. from a SIGINT handler), points not yet dispatched are
+/// abandoned without manifest lines — in-flight points finish and flush,
+/// so a later run resumes having lost nothing that completed.
 CampaignResult run_campaign(const Campaign& campaign,
                             const std::string& out_dir, std::size_t workers,
-                            std::FILE* log);
+                            std::FILE* log,
+                            const std::atomic<bool>* stop = nullptr);
+
+/// Last-wins key→document map from a JSONL file whose lines carry a
+/// string "key".  Lines that fail to parse (the torn tail of a killed
+/// run) are skipped, not fatal — the affected point simply reruns.
+/// Shared by the campaign runner and the campaign service (serve layer).
+std::vector<std::pair<std::string, obs::Json>> read_keyed_jsonl(
+    const std::string& path);
+
+/// Roll up every ok point recorded in `out_dir`'s results.jsonl /
+/// manifest.jsonl into the standard campaign_summary envelope (delivery/
+/// throughput/energy aggregates plus the point_wall_ms histogram).
+/// `total` is the expansion size the points/total field reports.
+obs::Json build_campaign_summary(const std::string& campaign_name,
+                                 const std::string& out_dir,
+                                 std::size_t total);
 
 }  // namespace mhp::scenario

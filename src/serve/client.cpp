@@ -1,0 +1,76 @@
+#include "serve/client.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace mhp::serve {
+
+namespace {
+
+using obs::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& socket_path) {
+  return Client(connect_unix(socket_path));
+}
+
+Json Client::request(const Json& req) {
+  if (!sock_.send_line(req.dump()))
+    throw std::runtime_error("server connection lost while sending");
+  for (;;) {
+    const auto line = reader_.next();
+    if (!line.has_value())
+      throw std::runtime_error("server closed the connection before "
+                               "responding");
+    if (line->empty()) continue;
+    Json doc = obs::parse_json(*line);
+    if (doc.is_object() && doc.find("frame") != nullptr) {
+      frames_.push_back(std::move(doc));
+      continue;
+    }
+    return doc;
+  }
+}
+
+std::optional<Json> Client::next_frame() {
+  if (!frames_.empty()) {
+    Json front = std::move(frames_.front());
+    frames_.pop_front();
+    return front;
+  }
+  for (;;) {
+    const auto line = reader_.next();
+    if (!line.has_value()) return std::nullopt;
+    if (line->empty()) continue;
+    return obs::parse_json(*line);
+  }
+}
+
+Json Client::submit(Json doc) {
+  return request(
+      Json::object().set("op", Json("submit")).set("doc", std::move(doc)));
+}
+
+Json inline_campaign_base(Json doc, const std::string& dir) {
+  if (!doc.is_object()) return doc;
+  Json* base = doc.find("base");
+  if (base == nullptr || !base->is_string()) return doc;
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / base->as_string();
+  *base = obs::parse_json(read_file(path.string()));
+  return doc;
+}
+
+}  // namespace mhp::serve

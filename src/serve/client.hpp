@@ -1,0 +1,50 @@
+// Client side of the campaign service protocol: connect to a serving
+// mhp_run, send request objects, and consume the asynchronous result
+// frames the server streams back.  Used by `mhp_run --submit/--ctl`,
+// the serve tests and the serve_load bench.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace mhp::serve {
+
+class Client {
+ public:
+  /// Connect to a serving mhp_run.  Throws std::runtime_error when the
+  /// socket is absent or refuses.
+  static Client connect(const std::string& socket_path);
+
+  /// Send one request and block for its response.  Result frames that
+  /// arrive first (from earlier submissions on this connection) are
+  /// queued for next_frame(), preserving arrival order.  Throws when
+  /// the server closes the connection before responding.
+  obs::Json request(const obs::Json& req);
+
+  /// Next streamed frame (queued or read fresh); nullopt once the
+  /// server closes the connection.
+  std::optional<obs::Json> next_frame();
+
+  /// Convenience: {"op":"submit","doc":doc}.
+  obs::Json submit(obs::Json doc);
+
+ private:
+  explicit Client(Socket sock)
+      : sock_(std::move(sock)), reader_(sock_.fd()) {}
+
+  Socket sock_;
+  LineReader reader_;
+  std::deque<obs::Json> frames_;
+};
+
+/// Inline a campaign's "base" file reference so the document is
+/// self-contained for the wire.  `dir` is the directory the campaign
+/// file came from (relative bases resolve against it).  Scenario
+/// documents and inline-base campaigns pass through untouched.
+obs::Json inline_campaign_base(obs::Json doc, const std::string& dir);
+
+}  // namespace mhp::serve

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -539,6 +540,88 @@ TEST(CampaignRun, TornManifestTailIsIgnoredAndPointReruns) {
   EXPECT_EQ(r.total, 1u);
   EXPECT_EQ(r.ok, 1u);
   EXPECT_EQ(r.skipped, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignRun, StopFlagInterruptsCleanlyAndResumeCompletes) {
+  Campaign campaign;
+  campaign.name = "interrupt";
+  campaign.base = quick_base();
+  campaign.sweep.emplace_back(
+      "traffic.rate_bps",
+      std::vector<obs::Json>{obs::Json(10.0), obs::Json(20.0),
+                             obs::Json(30.0)});
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mhp_campaign_stop_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // A stop flag raised before dispatch (the SIGINT path, taken to its
+  // extreme): every point is abandoned before it runs, and nothing is
+  // recorded — the manifest stays honest for the resume.
+  std::atomic<bool> stop{true};
+  const CampaignResult first = run_campaign(campaign, dir, 2, nullptr, &stop);
+  EXPECT_EQ(first.total, 3u);
+  EXPECT_EQ(first.interrupted, 3u);
+  EXPECT_EQ(first.ok, 0u);
+  EXPECT_EQ(first.failed, 0u);
+  EXPECT_EQ(count_lines(dir + "/results.jsonl"), 0u);
+  EXPECT_EQ(count_lines(dir + "/manifest.jsonl"), 0u);
+
+  // Re-run without the flag: the interrupted points were never marked
+  // done, so the whole campaign completes.
+  const CampaignResult second = run_campaign(campaign, dir, 2, nullptr);
+  EXPECT_EQ(second.ok, 3u);
+  EXPECT_EQ(second.skipped, 0u);
+  EXPECT_EQ(second.interrupted, 0u);
+  EXPECT_EQ(count_lines(dir + "/results.jsonl"), 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignRun, PointWallMsGatedByRecordPerf) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mhp_campaign_wall_" + std::to_string(::getpid())))
+          .string();
+
+  // record_perf false (the quick_base default): the wall-clock field is
+  // recorded but zeroed, keeping results byte-deterministic.
+  Campaign off;
+  off.name = "wall_off";
+  off.base = quick_base();
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run_campaign(off, dir, 1, nullptr).ok, 1u);
+  {
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const obs::Json entry = obs::parse_json(line);
+    EXPECT_EQ(entry.at("point_wall_ms").as_double(), 0.0);
+  }
+  // The summary always carries the latency roll-up block.
+  const obs::Json summary =
+      obs::parse_json(read_file(dir + "/summary.json"));
+  const obs::Json& wall = summary.at("report").at("point_wall_ms");
+  EXPECT_EQ(wall.at("count").as_int(), 1);
+  EXPECT_EQ(wall.at("p50_ms").as_double(), 0.0);
+  EXPECT_EQ(wall.at("p99_ms").as_double(), 0.0);
+
+  // record_perf true: a real (positive) per-point wall time.
+  Campaign on;
+  on.name = "wall_on";
+  on.base = quick_base();
+  set_by_path(on.base, "run.record_perf", obs::Json(true));
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run_campaign(on, dir, 1, nullptr).ok, 1u);
+  {
+    std::ifstream in(dir + "/results.jsonl");
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const obs::Json entry = obs::parse_json(line);
+    EXPECT_GT(entry.at("point_wall_ms").as_double(), 0.0);
+  }
   std::filesystem::remove_all(dir);
 }
 

@@ -12,7 +12,22 @@
 //                                           scenario (polling default)
 //   mhp_run --campaign campaign.json --out-dir DIR [--workers N]
 //
-// Exit codes: 0 success, 1 runtime/validation failure, 2 usage error.
+// Campaign service (the long-lived daemon and its clients):
+//   mhp_run --serve --socket /run/mhp.sock --out-dir jobs [--workers N]
+//           [--queue-cap N]                 serve submissions until
+//                                           shutdown (SIGINT/SIGTERM
+//                                           drain + flush gracefully)
+//   mhp_run --submit file.json --connect /run/mhp.sock [--out report.json]
+//                                           submit a scenario/campaign,
+//                                           stream its results
+//   mhp_run --ctl status|drain|shutdown --connect /run/mhp.sock
+//
+// Exit codes: 0 success, 1 runtime/validation failure, 2 usage error,
+// 3 server backpressure (queue_full), 130 interrupted (manifest flushed
+// for resume).
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -26,10 +41,31 @@
 #include "scenario/campaign.hpp"
 #include "scenario/run_scenario.hpp"
 #include "scenario/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
 using namespace mhp;
+
+// Graceful-interrupt plumbing: the handler only flips atomics (and asks
+// a serving instance to stop), so it is async-signal-safe.  Batch mode
+// stops dispatching new campaign points and flushes manifests; serve
+// mode drains in-flight points and flushes every job.
+std::atomic<bool> g_interrupt{false};
+serve::Server* g_server = nullptr;
+
+extern "C" void on_interrupt(int) {
+  g_interrupt.store(true, std::memory_order_relaxed);
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void install_interrupt_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_interrupt;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
@@ -166,13 +202,146 @@ int run_campaign_file(const std::string& path, const std::string& out_dir,
       obs::parse_json(read_file(path)), [&dir](const std::string& base) {
         return read_file((dir / base).string());
       });
-  const scenario::CampaignResult r =
-      scenario::run_campaign(campaign, out_dir, workers, stdout);
+  // SIGINT/SIGTERM stop dispatching new points; finished points are
+  // already flushed, so a rerun resumes from the manifest.
+  install_interrupt_handlers();
+  const scenario::CampaignResult r = scenario::run_campaign(
+      campaign, out_dir, workers, stdout, &g_interrupt);
   std::printf(
       "campaign: %zu point(s): %zu ok, %zu failed, %zu skipped "
       "(results in %s)\n",
       r.total, r.ok, r.failed, r.skipped, out_dir.c_str());
+  if (r.interrupted > 0) {
+    std::printf(
+        "campaign: interrupted — %zu point(s) not started; manifest "
+        "flushed, rerun to resume\n",
+        r.interrupted);
+    return 130;
+  }
   return r.failed == 0 ? 0 : 1;
+}
+
+int serve_main(const exp::Flags& flags) {
+  serve::ServeConfig cfg;
+  cfg.socket_path = flags.value("--socket");
+  if (cfg.socket_path.empty()) {
+    std::fprintf(stderr, "mhp_run: --serve needs --socket PATH\n");
+    return 2;
+  }
+  cfg.out_root = flags.value("--out-dir", "mhp_jobs");
+  cfg.workers = flags.count_value("--workers", 0);
+  cfg.queue_capacity = flags.count_value("--queue-cap", 256);
+  if (cfg.queue_capacity == 0) {
+    std::fprintf(stderr, "mhp_run: --queue-cap must be >= 1\n");
+    return 2;
+  }
+  cfg.log = stdout;
+
+  serve::Server server(cfg);
+  server.start();
+  g_server = &server;
+  install_interrupt_handlers();
+  server.run();
+  g_server = nullptr;
+  return 0;
+}
+
+int ctl_main(const std::string& op, const std::string& connect_path) {
+  if (op != "status" && op != "drain" && op != "shutdown") {
+    std::fprintf(stderr,
+                 "mhp_run: --ctl takes status, drain or shutdown\n");
+    return 2;
+  }
+  serve::Client client = serve::Client::connect(connect_path);
+  const obs::Json response =
+      client.request(obs::Json::object().set("op", obs::Json(op)));
+  std::printf("%s\n", response.dump(2).c_str());
+  const obs::Json* status = response.find("status");
+  return status != nullptr && status->is_string() &&
+                 status->as_string() == "ok"
+             ? 0
+             : 1;
+}
+
+int submit_main(const std::string& path, const std::string& connect_path,
+                const std::string& out) {
+  obs::Json doc = obs::parse_json(read_file(path));
+  // Campaign "base" file references resolve client-side: the server
+  // only accepts self-contained documents.
+  doc = serve::inline_campaign_base(
+      std::move(doc), std::filesystem::path(path).parent_path().string());
+
+  serve::Client client = serve::Client::connect(connect_path);
+  const obs::Json response = client.submit(std::move(doc));
+  const std::string& status = response.at("status").as_string();
+  if (status == "queue_full") {
+    std::fprintf(stderr,
+                 "mhp_run: server queue full (%lld in flight, capacity "
+                 "%lld) — retry later\n",
+                 static_cast<long long>(response.at("pending").as_int()),
+                 static_cast<long long>(response.at("capacity").as_int()));
+    return 3;
+  }
+  if (status != "ok") {
+    const obs::Json* error = response.find("error");
+    std::fprintf(stderr, "mhp_run: submission rejected (%s): %s\n",
+                 status.c_str(),
+                 error != nullptr && error->is_string()
+                     ? error->as_string().c_str()
+                     : "(no detail)");
+    return 1;
+  }
+
+  const std::string& job = response.at("job").as_string();
+  const std::size_t total = response.at("points").as_uint();
+  std::printf("submitted %s as %s (%zu point(s), durable under %s)\n",
+              path.c_str(), job.c_str(), total,
+              response.at("dir").as_string().c_str());
+
+  std::size_t seen = 0, failed = 0;
+  bool done = false, have_report = false;
+  obs::Json last_report;
+  while (auto frame = client.next_frame()) {
+    const obs::Json* kind = frame->find("frame");
+    const obs::Json* frame_job = frame->find("job");
+    if (kind == nullptr || frame_job == nullptr ||
+        frame_job->as_string() != job)
+      continue;
+    if (kind->as_string() == "result") {
+      ++seen;
+      const std::string& point_status = frame->at("status").as_string();
+      std::printf("serve: [%zu/%zu] %s %s\n", seen, total,
+                  point_status.c_str(),
+                  frame->at("key").as_string().c_str());
+      if (point_status == "failed")
+        std::fprintf(stderr, "mhp_run: point failed: %s\n",
+                     frame->at("error").as_string().c_str());
+      if (const obs::Json* report = frame->find("report")) {
+        last_report = *report;
+        have_report = true;
+      }
+    } else if (kind->as_string() == "done") {
+      failed = frame->at("failed").as_uint();
+      done = true;
+      break;
+    }
+  }
+  if (!done) {
+    std::fprintf(stderr,
+                 "mhp_run: server connection lost mid-stream (durable "
+                 "results survive; resubmit to resume)\n");
+    return 1;
+  }
+  if (!out.empty()) {
+    if (total != 1 || !have_report) {
+      std::fprintf(stderr,
+                   "mhp_run: --out needs a single-scenario submission "
+                   "that produced a report\n");
+      return 1;
+    }
+    return obs::save_json(out, last_report) ? 0 : 1;
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -185,6 +354,16 @@ int main(int argc, char** argv) {
             "strict-parse Chrome trace-event files, run nothing")
       .flag("--dump-defaults", "print the fully-defaulted scenario schema")
       .flag("--campaign", "treat the input as a campaign file")
+      .flag("--serve", "run the campaign service daemon (needs --socket)")
+      .flag("--submit",
+            "submit the input to a serving mhp_run (needs --connect)")
+      .option("--ctl", "OP",
+              "send a control op (status|drain|shutdown) to a server")
+      .option("--socket", "PATH", "UNIX socket the daemon listens on")
+      .option("--connect", "PATH", "UNIX socket of the server to talk to")
+      .option("--queue-cap", "N",
+              "serve mode: max in-system points before queue_full "
+              "(default 256)")
       .option("--out", "FILE", "write the scenario report here")
       .option("--out-dir", "DIR", "campaign output directory (default: .)")
       .option("--profile-out", "FILE",
@@ -216,6 +395,37 @@ int main(int argc, char** argv) {
         return 2;
       }
       return validate_trace(flags.args());
+    }
+    if (flags.has("--serve")) {
+      if (!flags.args().empty()) {
+        std::fprintf(stderr, "mhp_run: --serve takes no input files\n");
+        return 2;
+      }
+      return serve_main(flags);
+    }
+    if (flags.has("--ctl")) {
+      if (!flags.args().empty()) {
+        std::fprintf(stderr, "mhp_run: --ctl takes no input files\n");
+        return 2;
+      }
+      if (!flags.has("--connect")) {
+        std::fprintf(stderr, "mhp_run: --ctl needs --connect PATH\n");
+        return 2;
+      }
+      return ctl_main(flags.value("--ctl"), flags.value("--connect"));
+    }
+    if (flags.has("--submit")) {
+      if (flags.args().size() != 1) {
+        std::fprintf(stderr,
+                     "mhp_run: --submit needs exactly one input file\n");
+        return 2;
+      }
+      if (!flags.has("--connect")) {
+        std::fprintf(stderr, "mhp_run: --submit needs --connect PATH\n");
+        return 2;
+      }
+      return submit_main(flags.args().front(), flags.value("--connect"),
+                         flags.value("--out"));
     }
     if (flags.args().size() != 1) {
       std::fprintf(stderr, "mhp_run: expected exactly one input file "
